@@ -1,0 +1,108 @@
+#include "bench/bench_util.hpp"
+
+#include <algorithm>
+
+namespace gmg::bench {
+
+namespace {
+
+struct KernelFixture {
+  BrickedArray x, b, Ax, r, coarse;
+  real_t alpha, beta, gamma;
+
+  static index_t coarse_brick_dim(index_t n, index_t bdim) {
+    for (index_t c : {index_t{8}, index_t{4}, index_t{2}}) {
+      if (c <= bdim && c <= n / 2 && (n / 2) % c == 0) return c;
+    }
+    return 2;
+  }
+
+  explicit KernelFixture(index_t n, index_t bdim)
+      : x(BrickedArray::create({n, n, n}, BrickShape::cube(bdim))),
+        b(x.grid_ptr(), x.shape()),
+        Ax(x.grid_ptr(), x.shape()),
+        r(x.grid_ptr(), x.shape()),
+        coarse(BrickedArray::create(
+            {n / 2, n / 2, n / 2},
+            BrickShape::cube(coarse_brick_dim(n, bdim)))) {
+    const real_t h = 1.0 / static_cast<real_t>(n);
+    alpha = -6.0 / (h * h);
+    beta = 1.0 / (h * h);
+    gamma = h * h / 12.0;
+    for_each(Box::from_extent({n, n, n}), [&](index_t i, index_t j, index_t k) {
+      x(i, j, k) = 0.25 * static_cast<real_t>((i * 7 + j * 3 + k) % 11);
+      b(i, j, k) = 0.5 * static_cast<real_t>((i + j * 5 + k * 2) % 7);
+    });
+    x.fill_ghosts_periodic();
+    b.fill_ghosts_periodic();
+  }
+};
+
+}  // namespace
+
+double measure_host_kernel(arch::Op op, index_t n, index_t bdim,
+                           int repetitions) {
+  KernelFixture f(n, bdim);
+  const Box interior = Box::from_extent({n, n, n});
+  const auto run = [&] {
+    switch (op) {
+      case arch::Op::kApplyOp:
+        apply_op(f.Ax, f.x, f.alpha, f.beta, interior);
+        break;
+      case arch::Op::kSmooth:
+        smooth(f.x, f.Ax, f.b, f.gamma, interior);
+        break;
+      case arch::Op::kSmoothResidual:
+        smooth_residual(f.x, f.r, f.Ax, f.b, f.gamma, interior);
+        break;
+      case arch::Op::kRestriction:
+        restriction(f.coarse, f.r);
+        break;
+      case arch::Op::kInterpIncrement:
+        interpolation_increment(f.x, f.coarse);
+        break;
+      default:
+        GMG_REQUIRE(false, "unknown op");
+    }
+  };
+  run();  // warm-up (and page-fault the fields)
+  double best = 1e30;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    Timer t;
+    run();
+    best = std::min(best, t.elapsed());
+  }
+  return best;
+}
+
+arch::ArchSpec calibrated_host(index_t n) {
+  arch::ArchSpec host = arch::host_cpu();
+  const index_t bdim = host.brick_dim;
+  const std::uint64_t cache_bytes =
+      static_cast<std::uint64_t>(host.l2_cache_mb * 1024 * 1024);
+  for (int opi = 0; opi < arch::kNumOps; ++opi) {
+    const auto op = static_cast<arch::Op>(opi);
+    const double secs = measure_host_kernel(op, n, bdim);
+    const double points =
+        arch::points_for(op, static_cast<double>(n) * n * n);
+    const double achieved_gbs =
+        points * arch::bytes_per_point(op) / secs / 1e9;
+    host.frac_roofline[opi] =
+        std::min(1.0, achieved_gbs / host.hbm_measured_gbs);
+
+    // Fraction of theoretical AI: compulsory vs finite-cache traffic
+    // from the address-trace simulator on a smaller replay grid.
+    const index_t sim_n = 32;
+    const auto compulsory = perf::measure_movement(
+        op, perf::Layout::kBrick, sim_n, bdim, 0, host.cache_line_bytes);
+    const auto actual =
+        perf::measure_movement(op, perf::Layout::kBrick, sim_n, bdim,
+                               cache_bytes, host.cache_line_bytes);
+    host.frac_theoretical_ai[opi] =
+        static_cast<double>(compulsory.bytes) /
+        static_cast<double>(actual.bytes);
+  }
+  return host;
+}
+
+}  // namespace gmg::bench

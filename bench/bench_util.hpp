@@ -1,0 +1,41 @@
+// Shared helpers for the paper-reproduction bench harnesses: live host
+// kernel measurements, host-architecture calibration, and output
+// conventions (stdout tables plus CSV sidecars for plotting).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "arch/arch_spec.hpp"
+#include "arch/kernel_costs.hpp"
+#include "brick/bricked_array.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "gmg/operators.hpp"
+#include "mesh/array3d.hpp"
+#include "perf/movement.hpp"
+
+namespace gmg::bench {
+
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+/// Best-of-k wall time of one invocation of a V-cycle kernel on the
+/// live host, on a cubic subdomain of extent n with bdim^3 bricks.
+/// Fields are pre-initialized; ghosts are periodic-filled once.
+double measure_host_kernel(arch::Op op, index_t n, index_t bdim,
+                           int repetitions = 3);
+
+/// The host ArchSpec with its per-kernel efficiencies filled from live
+/// measurements:
+///   frac_roofline[op]        = achieved bandwidth / STREAM bandwidth
+///   frac_theoretical_ai[op]  = compulsory traffic / simulated traffic
+///                              under a host-sized LRU cache
+/// (the reproduction's analogue of the paper's profiler-derived
+/// Tables III and V columns).
+arch::ArchSpec calibrated_host(index_t n = 64);
+
+}  // namespace gmg::bench

@@ -1,0 +1,175 @@
+// Figure 4: relative performance (time per V-cycle) of the bricked
+// GMG vs HPGMG, the conventional CUDA finite-volume GMG proxy. The
+// paper reports 1.58x on Perlmutter and 1.46x on Frontier, with the
+// Sunspot result roughly at parity — all relative to HPGMG-CUDA
+// running on the A100 (HPGMG has no HIP/SYCL port).
+//
+// Here the comparator is the in-repo conventional-layout solver
+// (src/baseline): measured head-to-head on the live host, and priced
+// per system by the same V-cycle model with (a) depth-1 ghost
+// exchanges every smooth and (b) the measured array-vs-brick kernel
+// efficiency penalty applied.
+#include <iostream>
+
+#include "baseline/solver_array.hpp"
+#include "bench/bench_util.hpp"
+#include "comm/simmpi.hpp"
+#include "common/table.hpp"
+#include "gmg/solver.hpp"
+#include "net/net_model.hpp"
+#include "perf/vcycle_model.hpp"
+
+using namespace gmg;
+
+namespace {
+
+real_t sine_rhs(real_t x, real_t y, real_t z) {
+  return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+         std::sin(2 * M_PI * z);
+}
+
+/// Measured host array/brick kernel time ratios (>1 means bricks win).
+std::array<double, arch::kNumOps> measured_layout_penalty(index_t n) {
+  std::array<double, arch::kNumOps> penalty{};
+  // Time the array-layout kernels through the baseline operators by
+  // running whole V-cycles would conflate exchange; instead reuse the
+  // per-kernel measurement for bricks and compare against a dedicated
+  // array-layout timing below.
+  Array3D x({n, n, n}, 1), b({n, n, n}, 1), Ax({n, n, n}, 1), r({n, n, n}, 1);
+  Array3D coarse({n / 2, n / 2, n / 2}, 1);
+  for_each(x.interior(), [&](index_t i, index_t j, index_t k) {
+    x(i, j, k) = 0.25 * static_cast<real_t>((i * 7 + j * 3 + k) % 11);
+    b(i, j, k) = 0.5 * static_cast<real_t>((i + j * 5 + k * 2) % 7);
+  });
+  x.fill_ghosts_periodic();
+  b.fill_ghosts_periodic();
+  const Box interior = x.interior();
+  const auto time_of = [&](auto&& fn) {
+    fn();
+    double best = 1e30;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer t;
+      fn();
+      best = std::min(best, t.elapsed());
+    }
+    return best;
+  };
+  const double ta[arch::kNumOps] = {
+      time_of([&] { baseline::apply_op(Ax, x, -6, 1, interior); }),
+      time_of([&] { baseline::smooth(x, Ax, b, 0.1, interior); }),
+      time_of([&] { baseline::smooth_residual(x, r, Ax, b, 0.1, interior); }),
+      time_of([&] { baseline::restriction(coarse, r); }),
+      time_of([&] { baseline::interpolation_increment(x, coarse); })};
+  for (int op = 0; op < arch::kNumOps; ++op) {
+    const double tb = bench::measure_host_kernel(static_cast<arch::Op>(op),
+                                                 n, 8);
+    penalty[static_cast<std::size_t>(op)] = ta[op] / tb;
+  }
+  return penalty;
+}
+
+void measured_host_comparison() {
+  bench::section(
+      "Fig. 4 (measured) — bricked GMG vs conventional-layout GMG on the "
+      "live host, 64^3, 4 levels, time per V-cycle");
+  const CartDecomp decomp({64, 64, 64}, {1, 1, 1});
+  comm::World world(1);
+  double brick_s = 0, array_s = 0;
+  world.run([&](comm::Communicator& c) {
+    GmgOptions bo;
+    bo.levels = 4;
+    bo.smooths = 12;
+    bo.bottom_smooths = 100;
+    bo.brick = BrickShape::cube(8);
+    // Single-rank on-node comparison: isolate the storage layout.
+    // CA's redundant ghost computation only pays off against a real
+    // network (see micro_ca and the modeled table below).
+    bo.communication_avoiding = false;
+    GmgSolver bsolver(bo, decomp, 0);
+    bsolver.set_rhs(sine_rhs);
+    bsolver.vcycle(c);  // warm-up
+    Timer tb;
+    for (int v = 0; v < 3; ++v) bsolver.vcycle(c);
+    brick_s = tb.elapsed() / 3;
+
+    baseline::ArrayGmgOptions ao;
+    ao.levels = 4;
+    ao.smooths = 12;
+    ao.bottom_smooths = 100;
+    baseline::ArrayGmgSolver asolver(ao, decomp, 0);
+    asolver.set_rhs(sine_rhs);
+    asolver.vcycle(c);
+    Timer ta;
+    for (int v = 0; v < 3; ++v) asolver.vcycle(c);
+    array_s = ta.elapsed() / 3;
+  });
+  std::cout << "  bricked GMG:      " << brick_s << " s/V-cycle\n"
+            << "  conventional GMG: " << array_s << " s/V-cycle\n"
+            << "  speedup:          " << array_s / brick_s << "x\n";
+}
+
+void modeled_fig4() {
+  bench::section(
+      "Fig. 4 (modeled) — time/V-cycle relative to the HPGMG-style "
+      "comparator on the A100 (512^3/rank, 8 nodes)");
+  const auto penalty = measured_layout_penalty(64);
+  std::cout << "  measured array-layout kernel penalty (array/brick time): ";
+  for (int op = 0; op < arch::kNumOps; ++op)
+    std::cout << penalty[static_cast<std::size_t>(op)] << (op + 1 < arch::kNumOps ? ", " : "\n");
+
+  // HPGMG-style comparator on the A100: conventional layout, depth-1
+  // ghosts, exchange before every smooth, unfused kernels. Its kernel
+  // fraction-of-roofline is set to 0.70x the bricked kernels' — the
+  // gap between HPGMG-CUDA's straightforward kernels and the
+  // blocked/vector-folded ones that Table III quantifies (we cannot
+  // profile HPGMG-CUDA without an A100; the measured host layout
+  // penalty above is the live analogue of the same gap).
+  constexpr double kHpgmgKernelEfficiency = 0.70;
+  arch::ArchSpec hpgmg_spec = arch::a100();
+  for (int op = 0; op < arch::kNumOps; ++op) {
+    hpgmg_spec.frac_roofline[op] *= kHpgmgKernelEfficiency;
+  }
+  perf::VcycleModelInput ref_in;
+  ref_in.subdomain = {512, 512, 512};
+  ref_in.levels = 6;
+  ref_in.smooths = 12;
+  ref_in.bottom_smooths = 100;
+  ref_in.communication_avoiding = false;
+  ref_in.ghost_depth = 1;
+  ref_in.brick_dim = 8;
+  ref_in.fused_smooth_residual = false;  // HPGMG: separate kernels
+  ref_in.pack_free = false;              // element-wise pack/unpack
+  const double hpgmg_s =
+      perf::model_vcycle(arch::DeviceModel(hpgmg_spec),
+                         net::NetworkModel(arch::a100()), ref_in)
+          .total_s;
+
+  Table t({"system", "GMG-bricks s/V-cycle", "HPGMG-CUDA(A100) s/V-cycle",
+           "relative performance"});
+  for (const arch::ArchSpec* spec : arch::paper_platforms()) {
+    perf::VcycleModelInput in;
+    in.subdomain = {512, 512, 512};
+    in.levels = 6;
+    in.smooths = 12;
+    in.bottom_smooths = 100;
+    in.brick_dim = spec->brick_dim;
+    const double ours =
+        perf::model_vcycle(arch::DeviceModel(*spec),
+                           net::NetworkModel(*spec), in)
+            .total_s;
+    t.row().cell(spec->system).cell(ours, 4).cell(hpgmg_s, 4).cell(
+        hpgmg_s / ours, 2);
+  }
+  t.print();
+  t.write_csv("fig4_hpgmg_compare.csv");
+  bench::note(
+      "  paper reference: Perlmutter 1.58x, Frontier 1.46x, Sunspot ~1x.");
+}
+
+}  // namespace
+
+int main() {
+  measured_host_comparison();
+  modeled_fig4();
+  return 0;
+}

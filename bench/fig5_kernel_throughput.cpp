@@ -1,0 +1,114 @@
+// Figure 5: GStencil/s per invocation for applyOp (top) and
+// smooth+residual (bottom) across all V-cycle levels (512^3 down to
+// 16^3 per rank), with the theoretical per-architecture ceilings and
+// the fitted latency/throughput law f(x) = x / (alpha + x/beta).
+//
+// Per-system series come from the calibrated device model (the same
+// law the paper fits); the fitted alpha must land in the paper's
+// 5–20 us empirical range. A live host series with its own fit
+// exercises the identical pipeline on real measurements.
+#include <iostream>
+
+#include "arch/device_model.hpp"
+#include "bench/bench_util.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/table.hpp"
+#include "net/net_model.hpp"
+
+using namespace gmg;
+
+namespace {
+
+void modeled_series(arch::Op op) {
+  bench::section(std::string("Fig. 5 — ") + arch::op_name(op) +
+                 " GStencil/s per level (modeled)");
+  Table t({"level", "points", "Perlmutter A100", "Frontier MI250X GCD",
+           "Sunspot PVC tile"});
+  std::vector<arch::DeviceModel> devs;
+  for (const arch::ArchSpec* spec : arch::paper_platforms())
+    devs.emplace_back(*spec);
+
+  std::vector<std::vector<double>> xs(devs.size()), ts(devs.size());
+  for (int l = 0; l < 6; ++l) {
+    const double n = static_cast<double>(512 >> l);
+    const double points = n * n * n;
+    t.row().cell(static_cast<long>(l));
+    t.cell(std::to_string(static_cast<long>(n)) + "^3");
+    for (std::size_t d = 0; d < devs.size(); ++d) {
+      t.cell(devs[d].gstencils_per_s(op, points), 2);
+      xs[d].push_back(points * arch::bytes_per_point(op));
+      ts[d].push_back(devs[d].kernel_time(op, points));
+    }
+  }
+  t.print();
+  t.write_csv(std::string("fig5_") + (op == arch::Op::kApplyOp
+                                          ? "applyop"
+                                          : "smooth_residual") +
+              ".csv");
+
+  AsciiPlot plot({56, 14, /*log_x=*/true, /*log_y=*/true, "points",
+                  "GStencil/s (log-log)"});
+  for (std::size_t d = 0; d < devs.size(); ++d) {
+    std::vector<std::pair<double, double>> pts;
+    for (int l = 0; l < 6; ++l) {
+      const double nn = static_cast<double>(512 >> l);
+      const double points = nn * nn * nn;
+      pts.emplace_back(points, devs[d].gstencils_per_s(op, points));
+    }
+    plot.add_series(devs[d].spec().system, std::move(pts));
+  }
+  plot.print();
+
+  for (std::size_t d = 0; d < devs.size(); ++d) {
+    const net::LinearParams fit = net::fit_linear_model(xs[d], ts[d]);
+    std::cout << "  " << devs[d].spec().system
+              << ": ceiling = " << devs[d].ceiling_gstencils(op)
+              << " GStencil/s, fitted latency alpha = "
+              << fit.alpha_s * 1e6 << " us (paper: 5-20 us), fitted BW = "
+              << fit.beta_bytes_s / 1e9 << " GB/s\n";
+  }
+}
+
+void measured_host_series() {
+  bench::section(
+      "Fig. 5 (measured) — live host GStencil/s vs size, with fitted "
+      "f(x) = x/(alpha + x/beta)");
+  const arch::ArchSpec host = arch::host_cpu();
+  Table t({"size", "applyOp GStencil/s", "smooth+residual GStencil/s"});
+  std::vector<double> xs_a, ts_a, xs_s, ts_s;
+  for (index_t n : {16, 24, 32, 48, 64, 96}) {
+    const double points = static_cast<double>(n) * n * n;
+    const double ta = bench::measure_host_kernel(arch::Op::kApplyOp, n, 8);
+    const double ts =
+        bench::measure_host_kernel(arch::Op::kSmoothResidual, n, 8);
+    t.row()
+        .cell(std::to_string(n) + "^3")
+        .cell(points / ta / 1e9, 3)
+        .cell(points / ts / 1e9, 3);
+    xs_a.push_back(points * arch::bytes_per_point(arch::Op::kApplyOp));
+    ts_a.push_back(ta);
+    xs_s.push_back(points * arch::bytes_per_point(arch::Op::kSmoothResidual));
+    ts_s.push_back(ts);
+  }
+  t.print();
+  t.write_csv("fig5_host_measured.csv");
+  const auto fa = net::fit_linear_model(xs_a, ts_a);
+  const auto fs = net::fit_linear_model(xs_s, ts_s);
+  std::cout << "  host applyOp fit:        alpha = " << fa.alpha_s * 1e6
+            << " us, beta = " << fa.beta_bytes_s / 1e9 << " GB/s\n"
+            << "  host smooth+residual fit: alpha = " << fs.alpha_s * 1e6
+            << " us, beta = " << fs.beta_bytes_s / 1e9 << " GB/s\n"
+            << "  host STREAM bandwidth:    " << host.hbm_measured_gbs
+            << " GB/s (fit beta should approach this)\n"
+            << "  host ceiling applyOp:     " << host.hbm_measured_gbs / 16.0
+            << " GStencil/s\n";
+}
+
+}  // namespace
+
+int main() {
+  modeled_series(arch::Op::kApplyOp);
+  modeled_series(arch::Op::kSmoothResidual);
+  measured_host_series();
+  return 0;
+}

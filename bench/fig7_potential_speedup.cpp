@@ -1,0 +1,40 @@
+// Figure 7: potential-speedup plot — every (operation, architecture)
+// pair positioned by fraction of theoretical AI (x) and fraction of
+// the roofline (y), with speedup = (1/x) * (1/y). The paper's
+// takeaways: NVIDIA <=1.2x headroom everywhere; MI250X mostly
+// 1.2-1.5x with the interpolation outlier near 4x; PVC 1.5-2x.
+#include <iostream>
+
+#include "arch/roofline.hpp"
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace gmg;
+
+int main() {
+  bench::section("Fig. 7 — potential speedup per (operation, architecture)");
+  Table t({"Architecture", "Operation", "frac theoretical AI",
+           "frac roofline", "potential speedup"});
+  double worst[3] = {0, 0, 0};
+  const auto platforms = arch::paper_platforms();
+  for (std::size_t p = 0; p < platforms.size(); ++p) {
+    for (int op = 0; op < arch::kNumOps; ++op) {
+      const double fx = platforms[p]->frac_theoretical_ai[op];
+      const double fy = platforms[p]->frac_roofline[op];
+      const double s = arch::potential_speedup(fy, fx);
+      worst[p] = std::max(worst[p], s);
+      t.row()
+          .cell(platforms[p]->name)
+          .cell(arch::op_name(static_cast<arch::Op>(op)))
+          .cell_percent(fx, 0)
+          .cell_percent(fy, 0)
+          .cell(s, 2);
+    }
+  }
+  t.print();
+  t.write_csv("fig7_potential_speedup.csv");
+  std::cout << "  max headroom: A100 " << worst[0] << "x (paper <=1.2x+), "
+            << "MI250X GCD " << worst[1] << "x (paper ~4x outlier), "
+            << "PVC tile " << worst[2] << "x (paper 1.5-2x)\n";
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Figure 8: weak scaling — GStencil/s (total) and parallel efficiency
+// for solving Ax=b with 512^3 cells per rank, from 2 to 128 nodes
+// (Perlmutter 4 ranks/node, Frontier 8, Sunspot 12; Sunspot capped at
+// 16 nodes as in the paper). Modeled via the V-cycle schedule priced
+// with the per-system device + congested-network models; a live
+// multi-rank simmpi run confirms the algorithmic weak-scaling property
+// (V-cycles to converge independent of rank count).
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/ascii_plot.hpp"
+#include "comm/simmpi.hpp"
+#include "common/table.hpp"
+#include "gmg/solver.hpp"
+#include "net/net_model.hpp"
+#include "perf/vcycle_model.hpp"
+
+using namespace gmg;
+
+namespace {
+
+void modeled_weak_scaling() {
+  bench::section(
+      "Fig. 8 — weak scaling, 512^3 per rank (modeled): GStencil/s and "
+      "parallel efficiency");
+  Table t({"nodes", "system", "ranks (GPUs)", "GStencil/s",
+           "efficiency"});
+  AsciiPlot plot({56, 12, /*log_x=*/true, /*log_y=*/false, "nodes",
+                  "parallel efficiency (weak scaling)"});
+  for (const arch::ArchSpec* spec : arch::paper_platforms()) {
+    const arch::DeviceModel dev(*spec);
+    const net::NetworkModel net(*spec, net::Protocol::kForceRendezvous,
+                                spec->ranks_per_node);
+    const int max_nodes = spec->system == "Sunspot" ? 16 : 128;
+    double per_rank_ref = 0;
+    std::vector<std::pair<double, double>> eff;
+    for (int nodes = 2; nodes <= max_nodes; nodes *= 2) {
+      const int ranks = nodes * spec->ranks_per_node;
+      perf::VcycleModelInput in;
+      in.subdomain = {512, 512, 512};
+      in.levels = 6;
+      in.smooths = 12;
+      in.bottom_smooths = 100;
+      in.brick_dim = spec->brick_dim;
+      in.total_ranks = ranks;
+      in.nodes = nodes;
+      const auto cost = perf::model_vcycle(dev, net, in);
+      // The paper's throughput metric: fine-grid cells solved per
+      // second of total time-to-converge (12 V-cycles).
+      const double per_rank = static_cast<double>(in.subdomain.volume()) /
+                              (12.0 * cost.total_s) / 1e9;
+      if (per_rank_ref == 0) per_rank_ref = per_rank;
+      t.row()
+          .cell(static_cast<long>(nodes))
+          .cell(spec->system)
+          .cell(static_cast<long>(ranks))
+          .cell(per_rank * ranks, 1)
+          .cell_percent(per_rank / per_rank_ref);
+      eff.emplace_back(nodes, per_rank / per_rank_ref);
+    }
+    plot.add_series(spec->system, std::move(eff));
+  }
+  t.print();
+  plot.print();
+  t.write_csv("fig8_weak_scaling.csv");
+  bench::note(
+      "  paper reference: >=87% efficiency at 128 nodes (512 GPUs);\n"
+      "  Frontier approaches ~2x Perlmutter's aggregate GStencil/s (twice\n"
+      "  the ranks per node), Sunspot lands near Perlmutter despite more\n"
+      "  GPUs per node (network drawbacks, no GPU-aware MPI).");
+}
+
+void live_weak_scaling_check() {
+  bench::section(
+      "Fig. 8 (live) — convergence is rank-count independent on simmpi: "
+      "a fixed 64^3 global solve split over 1, 8 and 64 ranks must take "
+      "the same number of V-cycles (the iterates are bitwise identical)");
+  Table t({"ranks", "subdomain", "V-cycles", "final residual"});
+  for (int ranks : {1, 8, 64}) {
+    const int per_axis = static_cast<int>(std::lround(std::cbrt(ranks)));
+    const CartDecomp decomp({64, 64, 64},
+                            {per_axis, per_axis, per_axis});
+    comm::World world(ranks);
+    int vcycles = 0;
+    real_t residual = 0;
+    world.run([&](comm::Communicator& c) {
+      GmgOptions opts;
+      opts.levels = 3;  // same hierarchy on every rank count
+      opts.smooths = 8;
+      opts.bottom_smooths = 100;
+      opts.brick = BrickShape::cube(4);
+      opts.max_vcycles = 60;
+      GmgSolver solver(opts, decomp, c.rank());
+      solver.set_rhs([](real_t x, real_t y, real_t z) {
+        return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+               std::sin(2 * M_PI * z);
+      });
+      const SolveResult res = solver.solve(c);
+      if (c.rank() == 0) {
+        vcycles = res.vcycles;
+        residual = res.final_residual;
+      }
+    });
+    t.row()
+        .cell(static_cast<long>(ranks))
+        .cell(std::to_string(64 / per_axis) + "^3")
+        .cell(static_cast<long>(vcycles))
+        .cell(residual, 12);
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  modeled_weak_scaling();
+  live_weak_scaling_check();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Microbenchmark (ablation §V): communication-avoiding deep-ghost
+// smoothing vs exchange-every-iteration, on the real solver. CA
+// trades redundant ghost-region computation for a brick-depth
+// reduction in exchange rounds; on-node (self-copy) exchanges already
+// show the round-count effect, and the counter output quantifies it.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "comm/simmpi.hpp"
+#include "gmg/solver.hpp"
+
+namespace {
+
+using namespace gmg;
+
+real_t sine_rhs(real_t x, real_t y, real_t z) {
+  return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+         std::sin(2 * M_PI * z);
+}
+
+void run_vcycles(benchmark::State& state, bool ca, index_t bdim) {
+  const CartDecomp decomp({64, 64, 64}, {1, 1, 1});
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    GmgOptions opts;
+    opts.levels = 3;
+    opts.smooths = 12;
+    opts.bottom_smooths = 50;
+    opts.brick = BrickShape::cube(bdim);
+    opts.communication_avoiding = ca;
+    GmgSolver solver(opts, decomp, 0);
+    solver.set_rhs(sine_rhs);
+    solver.vcycle(c);  // warm-up
+    for (auto _ : state) {
+      solver.vcycle(c);
+    }
+    // Exchange rounds per V-cycle at the finest level.
+    const auto& prof = solver.profiler();
+    state.counters["exchanges/vcycle(l0)"] =
+        static_cast<double>(prof.stats(0, perf::Phase::kExchange).count()) /
+        static_cast<double>(state.iterations() + 1);
+    state.counters["exchange_ms/vcycle"] =
+        prof.total(0, perf::Phase::kExchange) * 1e3 /
+        static_cast<double>(state.iterations() + 1);
+  });
+}
+
+void BM_Vcycle_CA_Brick8(benchmark::State& state) {
+  run_vcycles(state, true, 8);
+}
+void BM_Vcycle_CA_Brick4(benchmark::State& state) {
+  run_vcycles(state, true, 4);
+}
+void BM_Vcycle_NoCA_Brick8(benchmark::State& state) {
+  run_vcycles(state, false, 8);
+}
+BENCHMARK(BM_Vcycle_CA_Brick8)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_Vcycle_CA_Brick4)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_Vcycle_NoCA_Brick8)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

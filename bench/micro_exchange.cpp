@@ -1,0 +1,80 @@
+// Microbenchmark (ablation, paper §V / reference [6]): the on-node
+// cost of ghost exchange under the three buffer strategies —
+// packing-free (communication-ordered brick storage), staged
+// pack/unpack, and per-brick messages (no aggregation) — plus the
+// conventional element-wise array exchange.
+#include <benchmark/benchmark.h>
+
+#include "comm/exchange.hpp"
+#include "comm/simmpi.hpp"
+
+namespace {
+
+using namespace gmg;
+
+/// Single-rank periodic exchange: all 26 transfers become on-node
+/// copies, isolating exactly the data-movement cost the brick layout
+/// optimizes (no thread scheduling noise).
+void BM_BrickExchange_SelfCopies(benchmark::State& state,
+                                 comm::BrickExchangeMode mode) {
+  const index_t sub = static_cast<index_t>(state.range(0));
+  const CartDecomp decomp({sub, sub, sub}, {1, 1, 1});
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    BrickedArray f =
+        BrickedArray::create({sub, sub, sub}, BrickShape::cube(8));
+    f.fill(1.0);
+    comm::BrickExchange ex(f.grid_ptr(), f.shape(), decomp, 0, mode);
+    ex.exchange(c, f);  // warm-up
+    for (auto _ : state) {
+      ex.exchange(c, f);
+      benchmark::DoNotOptimize(f.data());
+    }
+    state.counters["GB/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(ex.bytes_per_exchange()) / 1e9,
+        benchmark::Counter::kIsRate);
+  });
+}
+
+// Periodic self-copies take the same whole-brick memcpy path in every
+// mode, so only one brick series is needed here; the staged vs
+// pack-free message path is compared on a live two-rank world in
+// bench/fig6_exchange_bandwidth.
+void BM_Exchange_BrickGhosts(benchmark::State& state) {
+  BM_BrickExchange_SelfCopies(state, comm::BrickExchangeMode::kPackFree);
+}
+BENCHMARK(BM_Exchange_BrickGhosts)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Element-wise pack/unpack of the conventional array layout — the
+/// cost the communication-ordered brick storage eliminates.
+void BM_ArrayExchange_SelfCopies(benchmark::State& state) {
+  const index_t sub = static_cast<index_t>(state.range(0));
+  const CartDecomp decomp({sub, sub, sub}, {1, 1, 1});
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    Array3D f({sub, sub, sub}, 8);
+    f.fill(1.0);
+    comm::ArrayExchange ex({sub, sub, sub}, 8, decomp, 0);
+    ex.exchange(c, f);  // warm-up
+    for (auto _ : state) {
+      ex.exchange(c, f);
+      benchmark::DoNotOptimize(f.data());
+    }
+    state.counters["GB/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(ex.bytes_per_exchange()) / 1e9,
+        benchmark::Counter::kIsRate);
+  });
+}
+BENCHMARK(BM_ArrayExchange_SelfCopies)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Microbenchmark (§IX future work): smoother and bottom-solver
+// variants under identical blocking/communication settings — cost per
+// V-cycle and cycles-to-converge, the two sides of time-to-solution.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "comm/simmpi.hpp"
+#include "gmg/solver.hpp"
+
+namespace {
+
+using namespace gmg;
+
+real_t sine_rhs(real_t x, real_t y, real_t z) {
+  return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+         std::sin(2 * M_PI * z);
+}
+
+GmgOptions base_options() {
+  GmgOptions o;
+  o.levels = 4;
+  o.smooths = 8;
+  o.bottom_smooths = 60;
+  o.brick = BrickShape::cube(4);
+  o.max_vcycles = 60;
+  return o;
+}
+
+void solve_benchmark(benchmark::State& state, const GmgOptions& opts,
+                     bool use_fmg = false) {
+  const CartDecomp decomp({64, 64, 64}, {1, 1, 1});
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    int vcycles = 0;
+    for (auto _ : state) {
+      GmgSolver solver(opts, decomp, 0);
+      solver.set_rhs(sine_rhs);
+      if (use_fmg) solver.fmg(c);
+      const SolveResult r = solver.solve(c);
+      vcycles = r.vcycles;
+      benchmark::DoNotOptimize(r.final_residual);
+    }
+    state.counters["vcycles"] = vcycles;
+  });
+}
+
+void BM_Solve_PointJacobi(benchmark::State& state) {
+  solve_benchmark(state, base_options());
+}
+void BM_Solve_Chebyshev(benchmark::State& state) {
+  GmgOptions o = base_options();
+  o.smoother = Smoother::kChebyshev;
+  solve_benchmark(state, o);
+}
+void BM_Solve_Wcycle(benchmark::State& state) {
+  GmgOptions o = base_options();
+  o.cycle = CycleType::kW;
+  solve_benchmark(state, o);
+}
+void BM_Solve_CgBottom(benchmark::State& state) {
+  GmgOptions o = base_options();
+  o.bottom = BottomSolverType::kConjugateGradient;
+  solve_benchmark(state, o);
+}
+void BM_Solve_FmgStart(benchmark::State& state) {
+  solve_benchmark(state, base_options(), /*use_fmg=*/true);
+}
+
+BENCHMARK(BM_Solve_PointJacobi)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Solve_Chebyshev)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Solve_Wcycle)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Solve_CgBottom)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Solve_FmgStart)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Table IV: theoretical arithmetic intensity (FLOP/byte) of every
+// V-cycle operation at the finest level, from the compulsory-traffic
+// accounting — cross-checked against the address-trace cache
+// simulator replaying the real layouts through an infinite cache.
+#include <iostream>
+
+#include "arch/kernel_costs.hpp"
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "perf/movement.hpp"
+
+using namespace gmg;
+
+int main() {
+  bench::section("Table IV — theoretical AI (FLOP/B) per operation");
+  Table t({"Operation", "FLOPs/pt", "bytes/pt", "theoretical AI",
+           "simulated AI (infinite cache)"});
+  for (int opi = 0; opi < arch::kNumOps; ++opi) {
+    const auto op = static_cast<arch::Op>(opi);
+    const auto sim =
+        perf::measure_movement(op, perf::Layout::kBrick, 32, 8, 0, 64);
+    t.row()
+        .cell(arch::op_name(op))
+        .cell(arch::flops_per_point(op), 0)
+        .cell(arch::bytes_per_point(op), 0)
+        .cell(arch::theoretical_ai(op), 3)
+        .cell(sim.ai(), 3);
+  }
+  t.print();
+  t.write_csv("table4_theoretical_ai.csv");
+  bench::note(
+      "  paper reference: 0.50 / 0.125 / 0.15 / 0.11 / 0.06.\n"
+      "  simulated smooth AI is lower because the simulator charges the\n"
+      "  x read-modify-write twice (fill + write-back); Table IV's\n"
+      "  convention counts a cache-resident RMW once.");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Performance survey: the tuning sweep behind the paper's §V choices —
+// brick size (8^3 on A100/MI250X, 4^3 on PVC), communication-avoiding
+// on/off, and exchange buffer strategy — measured live on this host
+// over the full solver.
+//
+//   ./performance_survey -s 64 -v 2
+#include <cmath>
+#include <iostream>
+
+#include "comm/simmpi.hpp"
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "gmg/solver.hpp"
+
+using namespace gmg;
+
+namespace {
+real_t sine_rhs(real_t x, real_t y, real_t z) {
+  return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+         std::sin(2 * M_PI * z);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.add_flag("s", "domain size per axis", "64");
+  opt.add_flag("v", "V-cycles to time", "2");
+  try {
+    opt.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << opt.help(argv[0]);
+    return 1;
+  }
+  const Vec3 n = opt.get_vec3("s");
+  const int vcycles = static_cast<int>(opt.get_int("v"));
+
+  struct Config {
+    index_t brick;
+    bool ca;
+    comm::BrickExchangeMode mode;
+    const char* mode_name;
+  };
+  const Config configs[] = {
+      {8, true, comm::BrickExchangeMode::kPackFree, "pack-free"},
+      {8, false, comm::BrickExchangeMode::kPackFree, "pack-free"},
+      {4, true, comm::BrickExchangeMode::kPackFree, "pack-free"},
+      {4, false, comm::BrickExchangeMode::kPackFree, "pack-free"},
+      {2, true, comm::BrickExchangeMode::kPackFree, "pack-free"},
+      {8, true, comm::BrickExchangeMode::kPacked, "packed"},
+      {8, true, comm::BrickExchangeMode::kPerBrick, "per-brick"},
+  };
+
+  std::cout << "Survey on " << n << ", " << vcycles
+            << " timed V-cycles per configuration (single rank; the\n"
+            << "exchange column is on-node ghost traffic)\n";
+  Table t({"brick", "CA", "exchange buffers", "levels", "s/V-cycle",
+           "exchanges@L0"});
+  const CartDecomp decomp(n, {1, 1, 1});
+  for (const Config& cfg : configs) {
+    comm::World world(1);
+    world.run([&](comm::Communicator& comm) {
+      GmgOptions opts;
+      opts.levels = 6;  // clamped per brick size
+      opts.brick = BrickShape::cube(cfg.brick);
+      opts.communication_avoiding = cfg.ca;
+      opts.exchange_mode = cfg.mode;
+      GmgSolver solver(opts, decomp, 0);
+      solver.set_rhs(sine_rhs);
+      solver.vcycle(comm);  // warm-up
+      solver.profiler().clear();
+      Timer timer;
+      for (int v = 0; v < vcycles; ++v) solver.vcycle(comm);
+      const double per_cycle = timer.elapsed() / vcycles;
+      const double exchanges =
+          static_cast<double>(
+              solver.profiler().stats(0, perf::Phase::kExchange).count()) /
+          vcycles;
+      t.row()
+          .cell(std::to_string(cfg.brick) + "^3")
+          .cell(cfg.ca ? "on" : "off")
+          .cell(cfg.mode_name)
+          .cell(static_cast<long>(solver.num_levels()))
+          .cell(per_cycle, 4)
+          .cell(exchanges, 1);
+    });
+  }
+  t.print();
+  std::cout << "\nPaper §V: 8^3 bricks optimal on A100/MI250X, 4^3 on PVC;\n"
+            << "CA trades redundant ghost computation for fewer exchange\n"
+            << "rounds (a win across a network, visible here only in the\n"
+            << "exchange count).\n";
+  return 0;
+}

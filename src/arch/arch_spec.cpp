@@ -1,0 +1,201 @@
+#include "arch/arch_spec.hpp"
+
+#include <omp.h>
+
+#include "common/aligned.hpp"
+#include "common/timer.hpp"
+
+namespace gmg::arch {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kApplyOp:
+      return "applyOp";
+    case Op::kSmooth:
+      return "smooth";
+    case Op::kSmoothResidual:
+      return "smooth+residual";
+    case Op::kRestriction:
+      return "restriction";
+    case Op::kInterpIncrement:
+      return "interpolation+increment";
+    default:
+      return "?";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Paper platforms. Sources:
+//  - peaks, caches, SIMD widths: paper §IV-A.
+//  - measured HBM: §VI-A states 1420 GB/s for the A100; the MI250X GCD
+//    and PVC tile values are the widely reported STREAM results for
+//    those parts (~1.30 TB/s and ~1.05 TB/s) consistent with the
+//    paper's Fig. 5 ceilings.
+//  - launch overheads: §VI-A extracts empirical kernel latencies of
+//    5–20 us with NVIDIA lowest; we use 5/10/20 us.
+//  - NIC: §VI-A Fig. 6 — Frontier 16 GB/s sustained with the lowest
+//    overhead, Perlmutter ~14 GB/s, Sunspot ~7 GB/s (no GPU-aware
+//    MPI); latencies span 25–200 us.
+//  - frac_roofline / frac_theoretical_ai: paper Tables III and V,
+//    i.e. the per-kernel efficiencies the vendor profilers reported.
+//    They parameterize the device model so the reproduction regenerates
+//    the paper's figures on a host with no GPU (see DESIGN.md §2).
+// ---------------------------------------------------------------------------
+
+const ArchSpec& a100() {
+  static const ArchSpec spec = [] {
+    ArchSpec s;
+    s.name = "NVIDIA A100";
+    s.system = "Perlmutter";
+    s.model = "CUDA";
+    s.peak_fp64_gflops = 9770.0;
+    s.hbm_peak_gbs = 1500.0;
+    s.hbm_measured_gbs = 1420.0;
+    s.launch_overhead_us = 5.0;
+    s.simd_width = 32;
+    s.brick_dim = 8;
+    s.l2_cache_mb = 40.0;
+    s.cache_line_bytes = 128;
+    s.ranks_per_node = 4;
+    s.nics_per_node = 4;
+    s.nic_sustained_gbs = 14.0;
+    s.nic_latency_us = 50.0;
+    s.gpu_aware_mpi = true;
+    s.frac_roofline = {0.90, 0.98, 0.94, 0.95, 0.88};
+    s.frac_theoretical_ai = {0.98, 0.96, 1.00, 0.99, 1.00};
+    return s;
+  }();
+  return spec;
+}
+
+const ArchSpec& mi250x_gcd() {
+  static const ArchSpec spec = [] {
+    ArchSpec s;
+    s.name = "AMD MI250X GCD";
+    s.system = "Frontier";
+    s.model = "HIP";
+    s.peak_fp64_gflops = 24000.0;
+    s.hbm_peak_gbs = 1600.0;
+    s.hbm_measured_gbs = 1300.0;
+    s.launch_overhead_us = 10.0;
+    s.simd_width = 64;
+    s.brick_dim = 8;
+    s.l2_cache_mb = 8.0;
+    s.cache_line_bytes = 128;
+    s.ranks_per_node = 8;
+    s.nics_per_node = 8;
+    s.nic_sustained_gbs = 16.0;
+    s.nic_latency_us = 25.0;
+    s.gpu_aware_mpi = true;
+    s.frac_roofline = {0.77, 0.87, 0.87, 0.79, 0.42};
+    s.frac_theoretical_ai = {0.88, 1.00, 1.00, 0.99, 0.74};
+    return s;
+  }();
+  return spec;
+}
+
+const ArchSpec& pvc_tile() {
+  static const ArchSpec spec = [] {
+    ArchSpec s;
+    s.name = "Intel PVC tile";
+    s.system = "Sunspot";
+    s.model = "SYCL";
+    s.peak_fp64_gflops = 16000.0;
+    s.hbm_peak_gbs = 1640.0;
+    s.hbm_measured_gbs = 1050.0;
+    s.launch_overhead_us = 20.0;
+    s.simd_width = 16;
+    s.brick_dim = 4;
+    s.l2_cache_mb = 208.0;  // L3 per stack
+    s.cache_line_bytes = 64;
+    s.ranks_per_node = 12;
+    s.nics_per_node = 8;  // eight NICs shared by twelve ranks (§IV-A)
+    s.nic_sustained_gbs = 7.0;
+    s.nic_latency_us = 200.0;
+    s.gpu_aware_mpi = false;  // §V: host buffers performed better
+    s.frac_roofline = {0.66, 0.64, 0.71, 0.62, 0.52};
+    s.frac_theoretical_ai = {0.86, 0.94, 0.71, 0.86, 1.00};
+    return s;
+  }();
+  return spec;
+}
+
+std::vector<const ArchSpec*> paper_platforms() {
+  return {&a100(), &mi250x_gcd(), &pvc_tile()};
+}
+
+namespace {
+
+/// STREAM-triad-like bandwidth probe: a(i) = b(i) + s*c(i) over a
+/// buffer far larger than LLC; returns GB/s of (2 reads + 1 write).
+double measure_host_bandwidth() {
+  const std::size_t n = 8u << 20;  // 3 x 64 MiB
+  AlignedBuffer<real_t> a(n, false), b(n, false), c(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<real_t>(i % 17);
+    c[i] = static_cast<real_t>(i % 31);
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer t;
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + 3.0 * c[i];
+    const double secs = t.elapsed();
+    const double gbs = 3.0 * static_cast<double>(n) * kRealBytes / secs / 1e9;
+    best = std::max(best, gbs);
+  }
+  // Defeat dead-code elimination.
+  volatile real_t sink = a[n / 2];
+  (void)sink;
+  return best;
+}
+
+/// Parallel-region dispatch overhead: the host analogue of a kernel
+/// launch (an empty omp parallel region round-trip).
+double measure_host_launch_us() {
+  const int reps = 2000;
+  int sink = 0;
+  Timer t;
+  for (int r = 0; r < reps; ++r) {
+#pragma omp parallel
+    {
+#pragma omp atomic
+      sink += 1;
+    }
+  }
+  const double us = t.elapsed() / reps * 1e6;
+  volatile int keep = sink;
+  (void)keep;
+  return us;
+}
+
+}  // namespace
+
+ArchSpec host_cpu() {
+  static const double bw = measure_host_bandwidth();
+  static const double launch = measure_host_launch_us();
+  ArchSpec s;
+  s.name = "Host CPU";
+  s.system = "reproduction host";
+  s.model = "OpenMP";
+  s.is_simulated = false;
+  s.hbm_peak_gbs = bw;  // best observed = our empirical roofline
+  s.hbm_measured_gbs = bw;
+  // Rough FP64 peak: cores x 2 FMA ports x 4-wide AVX2 x ~3 GHz.
+  s.peak_fp64_gflops = omp_get_max_threads() * 2.0 * 2.0 * 4.0 * 3.0;
+  s.launch_overhead_us = launch;
+  s.simd_width = 4;
+  s.brick_dim = 8;
+  s.l2_cache_mb = 32.0;
+  s.cache_line_bytes = 64;
+  s.ranks_per_node = 1;
+  s.nics_per_node = 1;
+  s.nic_sustained_gbs = 10.0;  // placeholder; host has no NIC
+  s.nic_latency_us = 1.0;
+  // Efficiencies are to be filled from live measurements by callers.
+  s.frac_roofline = {0, 0, 0, 0, 0};
+  s.frac_theoretical_ai = {0, 0, 0, 0, 0};
+  return s;
+}
+
+}  // namespace gmg::arch

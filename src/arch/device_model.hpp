@@ -1,0 +1,58 @@
+// Analytic GPU kernel-time model — the substitution for running on
+// A100 / MI250X / PVC hardware (DESIGN.md §2).
+//
+// The model is exactly the linear latency/throughput law the paper
+// fits to its measurements in §VI-A:
+//
+//     t(n) = alpha + bytes(n) / beta
+//     f(n) = n / t(n)            (GStencil/s when n is in stencils)
+//
+// with alpha the empirical kernel-launch latency and beta the achieved
+// memory bandwidth (fraction-of-roofline x measured HBM bandwidth).
+// Because the paper demonstrates this law matches all three machines
+// (Fig. 5), regenerating the figures from it preserves every shape the
+// paper reports: ceilings, the latency-bound roll-off deep in the
+// V-cycle, and the per-vendor ordering.
+#pragma once
+
+#include "arch/arch_spec.hpp"
+#include "arch/kernel_costs.hpp"
+
+namespace gmg::arch {
+
+class DeviceModel {
+ public:
+  explicit DeviceModel(const ArchSpec& spec) : spec_(&spec) {}
+
+  const ArchSpec& spec() const { return *spec_; }
+
+  /// Achieved memory bandwidth for one kernel (bytes/s).
+  double achieved_bandwidth(Op op) const {
+    return spec_->hbm_measured_gbs * 1e9 *
+           spec_->frac_roofline[static_cast<int>(op)];
+  }
+
+  /// Wall-clock seconds for one kernel invocation over `points`
+  /// stencil points.
+  double kernel_time(Op op, double points) const {
+    return spec_->launch_overhead_us * 1e-6 +
+           points * bytes_per_point(op) / achieved_bandwidth(op);
+  }
+
+  /// Throughput in GStencil/s for one invocation.
+  double gstencils_per_s(Op op, double points) const {
+    return points / kernel_time(op, points) / 1e9;
+  }
+
+  /// The paper's dashed theoretical ceiling: measured HBM bandwidth
+  /// divided by the kernel's compulsory bytes per stencil.
+  /// (A100 applyOp: 1420/16 = 88.75 GStencil/s, §VI-A.)
+  double ceiling_gstencils(Op op) const {
+    return spec_->hbm_measured_gbs / bytes_per_point(op);
+  }
+
+ private:
+  const ArchSpec* spec_;
+};
+
+}  // namespace gmg::arch

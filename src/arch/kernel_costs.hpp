@@ -1,0 +1,75 @@
+// Per-point FLOP and data-movement accounting for every V-cycle
+// kernel. These conventions reproduce the paper's Table IV exactly
+// (see DESIGN.md §5 for the derivation):
+//
+//   applyOp           Ax = alpha*x + beta*(sum of 6 neighbors)
+//                     8 FLOPs (6 adds + 2 muls, factored beta);
+//                     16 B (read x once — neighbor reuse is what the
+//                     cache is for — write Ax). AI = 0.50.
+//   smooth            x += gamma*(Ax - b)
+//                     3 FLOPs; 24 B (read Ax, b; x is a cache-resident
+//                     read-modify-write counted once). AI = 0.125.
+//   smooth+residual   fused smooth and r = b - Ax
+//                     6 FLOPs; 40 B (read x, Ax, b; write x, r).
+//                     AI = 0.15.
+//   restriction       coarse = average of 8 fine cells
+//                     8 FLOPs per COARSE point; 72 B (8 reads + 1
+//                     write). AI = 0.111.
+//   interp+increment  fine += coarse (piecewise constant)
+//                     1 FLOP per FINE point; 17 B (read + write fine,
+//                     coarse read amortized 1/8). AI = 0.059.
+#pragma once
+
+#include "arch/arch_spec.hpp"
+
+namespace gmg::arch {
+
+/// FLOPs per kernel point (see header comment for the point basis).
+constexpr double flops_per_point(Op op) {
+  switch (op) {
+    case Op::kApplyOp:
+      return 8.0;
+    case Op::kSmooth:
+      return 3.0;
+    case Op::kSmoothResidual:
+      return 6.0;
+    case Op::kRestriction:
+      return 8.0;
+    case Op::kInterpIncrement:
+      return 1.0;
+    default:
+      return 0.0;
+  }
+}
+
+/// Compulsory (infinite-cache) data movement per kernel point in bytes.
+constexpr double bytes_per_point(Op op) {
+  switch (op) {
+    case Op::kApplyOp:
+      return 16.0;
+    case Op::kSmooth:
+      return 24.0;
+    case Op::kSmoothResidual:
+      return 40.0;
+    case Op::kRestriction:
+      return 72.0;
+    case Op::kInterpIncrement:
+      return 17.0;
+    default:
+      return 0.0;
+  }
+}
+
+/// Theoretical arithmetic intensity (FLOP/byte) — paper Table IV.
+constexpr double theoretical_ai(Op op) {
+  return flops_per_point(op) / bytes_per_point(op);
+}
+
+/// Number of kernel points for a level of `cells` cells: restriction
+/// is counted per coarse point (cells/8), everything else per cell of
+/// the level it runs on.
+constexpr double points_for(Op op, double cells) {
+  return op == Op::kRestriction ? cells / 8.0 : cells;
+}
+
+}  // namespace gmg::arch

@@ -1,0 +1,56 @@
+// Roofline model (Williams et al.) and the Pennycook performance-
+// portability metric — the analysis machinery behind the paper's
+// Tables III/V and Figure 7.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "common/error.hpp"
+
+namespace gmg::arch {
+
+/// Attainable GFLOP/s at arithmetic intensity `ai` under a roofline
+/// with the given peak compute and memory bandwidth.
+inline double roofline_gflops(double ai, double peak_gflops,
+                              double bandwidth_gbs) {
+  return std::min(peak_gflops, ai * bandwidth_gbs);
+}
+
+/// Attainable GFLOP/s on an architecture using its *measured* memory
+/// ceiling (the empirical roofline the paper extracts via mixbench /
+/// Advisor).
+inline double roofline_gflops(const ArchSpec& spec, double ai) {
+  return roofline_gflops(ai, spec.peak_fp64_gflops, spec.hbm_measured_gbs);
+}
+
+/// Harmonic mean; zero if any efficiency is zero (an unsupported
+/// platform zeroes the Pennycook metric by definition).
+inline double harmonic_mean(const std::vector<double>& e) {
+  GMG_REQUIRE(!e.empty(), "harmonic mean of nothing");
+  double denom = 0.0;
+  for (double x : e) {
+    if (x <= 0.0) return 0.0;
+    denom += 1.0 / x;
+  }
+  return static_cast<double>(e.size()) / denom;
+}
+
+/// Pennycook performance portability: the harmonic mean of the
+/// application's efficiency across the platform set H (paper §VII).
+inline double performance_portability(const std::vector<double>& efficiency) {
+  return harmonic_mean(efficiency);
+}
+
+/// The paper's Fig. 7 potential-speedup isometric:
+///   speedup = (100%/%roofline) * (100%/%theoretical AI)
+/// i.e. the headroom from any mix of better code generation and
+/// better data locality.
+inline double potential_speedup(double frac_roofline, double frac_theor_ai) {
+  GMG_REQUIRE(frac_roofline > 0 && frac_theor_ai > 0,
+              "efficiencies must be positive");
+  return (1.0 / frac_roofline) * (1.0 / frac_theor_ai);
+}
+
+}  // namespace gmg::arch

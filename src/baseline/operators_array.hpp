@@ -1,0 +1,41 @@
+// The V-cycle operators on the conventional ghosted ijk array layout.
+// This is the comparator implementation (HPGMG-style, paper Fig. 4)
+// and doubles as the independent reference the brick kernels are
+// tested against.
+#pragma once
+
+#include "common/types.hpp"
+#include "mesh/array3d.hpp"
+
+namespace gmg::baseline {
+
+/// Ax = alpha*x + beta*(6 neighbors) over `region` (requires >=1
+/// ghost layer on x).
+void apply_op(Array3D& Ax, const Array3D& x, real_t alpha, real_t beta,
+              const Box& region);
+
+/// x += gamma*(Ax - b) over `region`.
+void smooth(Array3D& x, const Array3D& Ax, const Array3D& b, real_t gamma,
+            const Box& region);
+
+/// Fused smooth and r = b - Ax (pre-smooth Ax).
+void smooth_residual(Array3D& x, Array3D& r, const Array3D& Ax,
+                     const Array3D& b, real_t gamma, const Box& region);
+
+/// r = b - Ax over `region`.
+void residual(Array3D& r, const Array3D& b, const Array3D& Ax,
+              const Box& region);
+
+/// coarse = volume average of 8 fine cells, over the full interiors.
+void restriction(Array3D& coarse, const Array3D& fine);
+
+/// fine += piecewise-constant coarse correction, full fine interior.
+void interpolation_increment(Array3D& fine, const Array3D& coarse);
+
+/// Zero interior and ghosts.
+void init_zero(Array3D& a);
+
+/// max |a| over the interior.
+real_t max_norm(const Array3D& a);
+
+}  // namespace gmg::baseline

@@ -1,0 +1,73 @@
+#include "brick/brick_grid.hpp"
+
+#include "common/error.hpp"
+
+namespace gmg {
+
+BrickGrid::BrickGrid(Vec3 interior_bricks) : nb_(interior_bricks) {
+  GMG_REQUIRE(nb_.x > 0 && nb_.y > 0 && nb_.z > 0,
+              "brick grid extents must be positive");
+
+  const Box ext = extended_box();
+  id_of_.assign(static_cast<std::size_t>(ext.volume()), -1);
+
+  // Interior bricks first, lexicographic (i fastest).
+  std::int32_t next = 0;
+  for_each(interior_box(), [&](index_t i, index_t j, index_t k) {
+    id_of_[flat_index({i, j, k})] = next++;
+  });
+  interior_count_ = next;
+
+  // Then each of the 26 ghost groups, contiguous, in direction order.
+  for (int dir = 0; dir < kNumDirections; ++dir) {
+    if (dir == kSelfDirection) continue;
+    const Box region = ghost_box(dir);
+    ghost_ranges_[dir].first = next;
+    for_each(region, [&](index_t i, index_t j, index_t k) {
+      id_of_[flat_index({i, j, k})] = next++;
+    });
+    ghost_ranges_[dir].count = next - ghost_ranges_[dir].first;
+  }
+  total_ = next;
+
+  // Reverse map and adjacency.
+  coord_of_.resize(static_cast<std::size_t>(total_));
+  for_each(ext, [&](index_t i, index_t j, index_t k) {
+    const std::int32_t id = id_of_[flat_index({i, j, k})];
+    GMG_ASSERT(id >= 0);
+    coord_of_[static_cast<std::size_t>(id)] = {i, j, k};
+  });
+
+  adj_.resize(static_cast<std::size_t>(total_));
+  for (std::int32_t id = 0; id < total_; ++id) {
+    const Vec3 c = coord_of_[static_cast<std::size_t>(id)];
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      adj_[static_cast<std::size_t>(id)][dir] =
+          storage_id(c + direction_offset(dir));
+    }
+  }
+}
+
+BrickRange BrickGrid::ghost_range(int dir) const {
+  GMG_REQUIRE(dir >= 0 && dir < kNumDirections && dir != kSelfDirection,
+              "dir must be one of the 26 neighbor directions");
+  return ghost_ranges_[dir];
+}
+
+std::vector<BrickRange> BrickGrid::segments_of(const Box& region) const {
+  GMG_REQUIRE(extended_box().covers(region),
+              "region extends outside the brick grid");
+  std::vector<BrickRange> runs;
+  for_each(region, [&](index_t i, index_t j, index_t k) {
+    const std::int32_t id = storage_id({i, j, k});
+    GMG_ASSERT(id >= 0);
+    if (!runs.empty() && runs.back().first + runs.back().count == id) {
+      ++runs.back().count;
+    } else {
+      runs.push_back({id, 1});
+    }
+  });
+  return runs;
+}
+
+}  // namespace gmg

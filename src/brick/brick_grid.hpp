@@ -1,0 +1,109 @@
+// The brick grid: geometry, storage ordering, and adjacency of the
+// fine-grain blocks covering one subdomain plus its one-brick-deep
+// ghost shell.
+//
+// Storage order is the communication-optimized layout of the paper's
+// reference [6] (Zhao et al., PPoPP'21): interior bricks first in
+// lexicographic order, then the 26 ghost groups, each contiguous.
+// Receives from a neighbor therefore land in a single contiguous range
+// of brick storage — no unpack pass ("packing-free communication
+// buffers", paper §V).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "brick/brick_shape.hpp"
+#include "common/types.hpp"
+#include "mesh/box.hpp"
+
+namespace gmg {
+
+/// Contiguous run of bricks in storage order: [first, first+count).
+struct BrickRange {
+  std::int32_t first = 0;
+  std::int32_t count = 0;
+};
+
+class BrickGrid {
+ public:
+  /// `interior_bricks`: number of bricks per axis covering the
+  /// subdomain interior. The grid always carries one ghost brick layer
+  /// on every side (the paper's deep ghost zone: depth == brick dim).
+  explicit BrickGrid(Vec3 interior_bricks);
+
+  Vec3 interior_extent() const { return nb_; }
+  Box interior_box() const { return Box::from_extent(nb_); }
+  Box extended_box() const { return grow(interior_box(), 1); }
+
+  std::int32_t num_bricks() const { return total_; }
+  std::int32_t num_interior() const { return interior_count_; }
+
+  /// Storage id of the brick at coordinate `bc` in [-1, nb+1)^3;
+  /// -1 if outside the extended grid.
+  std::int32_t storage_id(Vec3 bc) const {
+    if (!extended_box().contains(bc)) return -1;
+    return id_of_[flat_index(bc)];
+  }
+
+  /// Brick coordinate of a storage id.
+  Vec3 coord_of(std::int32_t id) const { return coord_of_[id]; }
+
+  /// Storage id of the neighbor of brick `id` in direction `dir`
+  /// (one of 27; dir 13 returns id itself); -1 if the neighbor lies
+  /// outside the extended grid.
+  std::int32_t adjacent(std::int32_t id, int dir) const {
+    return adj_[id][dir];
+  }
+  const std::array<std::int32_t, kNumDirections>& adjacency(
+      std::int32_t id) const {
+    return adj_[id];
+  }
+
+  /// The contiguous storage range holding the ghost bricks received
+  /// from the neighbor in direction `dir`.
+  BrickRange ghost_range(int dir) const;
+
+  /// The storage runs covering an arbitrary brick-coordinate region
+  /// (adjacent storage ids merged). Used to build send segments.
+  std::vector<BrickRange> segments_of(const Box& region) const;
+
+  /// The brick-coordinate region this rank sends toward direction
+  /// `dir`: the interior bricks that are the neighbor's ghost region
+  /// seen from the opposite side.
+  Box surface_box(int dir) const {
+    return surface_region(interior_box(), dir, 1);
+  }
+  /// Ghost region (brick coordinates) received from direction `dir`.
+  Box ghost_box(int dir) const {
+    return ghost_region(interior_box(), dir, 1);
+  }
+
+ private:
+  std::size_t flat_index(Vec3 bc) const {
+    const Vec3 e = extended_box().extent();
+    return static_cast<std::size_t>((bc.z + 1) * e.y * e.x +
+                                    (bc.y + 1) * e.x + (bc.x + 1));
+  }
+
+  Vec3 nb_;
+  std::int32_t total_ = 0;
+  std::int32_t interior_count_ = 0;
+  std::vector<std::int32_t> id_of_;   // flat extended-grid coord -> id
+  std::vector<Vec3> coord_of_;        // id -> coord
+  std::vector<std::array<std::int32_t, kNumDirections>> adj_;
+  std::array<BrickRange, kNumDirections> ghost_ranges_{};
+};
+
+/// Floor division/modulo for mapping (possibly negative) ghost cell
+/// coordinates to brick coordinates.
+constexpr index_t floor_div(index_t a, index_t b) {
+  return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+constexpr index_t floor_mod(index_t a, index_t b) {
+  return a - floor_div(a, b) * b;
+}
+
+}  // namespace gmg

@@ -1,0 +1,54 @@
+// Brick shape: the fine-grain blocking factor. The paper uses 8x8x8
+// bricks on Perlmutter/Frontier and 4x4x4 on Sunspot (§V).
+#pragma once
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace gmg {
+
+/// Runtime brick dimensions. Hot kernels dispatch to compile-time
+/// specializations (see with_brick_dims) so the inner loops see
+/// constant trip counts — the moral equivalent of BrickLib's code
+/// generator emitting fixed-size kernels.
+struct BrickShape {
+  index_t bx = 8, by = 8, bz = 8;
+
+  constexpr index_t volume() const { return bx * by * bz; }
+  constexpr Vec3 dims() const { return {bx, by, bz}; }
+  constexpr friend bool operator==(const BrickShape&, const BrickShape&) =
+      default;
+
+  static BrickShape cube(index_t b) { return {b, b, b}; }
+};
+
+/// Compile-time brick dimensions for generated kernels.
+template <index_t BX, index_t BY, index_t BZ>
+struct BrickDims {
+  static constexpr index_t bx = BX, by = BY, bz = BZ;
+  static constexpr index_t volume = BX * BY * BZ;
+};
+
+/// Dispatch a callable templated on BrickDims to the shapes used in the
+/// paper (8^3, 4^3) plus 2^3 (useful for the coarsest levels and for
+/// tests); falls back to an error for unsupported shapes. `fn` must be
+/// a generic callable invoked as fn(BrickDims<...>{}).
+template <typename Fn>
+decltype(auto) with_brick_dims(const BrickShape& s, Fn&& fn) {
+  GMG_REQUIRE(s.bx == s.by && s.by == s.bz,
+              "only cubic bricks are supported");
+  switch (s.bx) {
+    case 2:
+      return fn(BrickDims<2, 2, 2>{});
+    case 4:
+      return fn(BrickDims<4, 4, 4>{});
+    case 8:
+      return fn(BrickDims<8, 8, 8>{});
+    default:
+      GMG_REQUIRE(false, "unsupported brick dimension (use 2, 4 or 8)");
+  }
+  // unreachable; silences missing-return warnings
+  return fn(BrickDims<8, 8, 8>{});
+}
+
+}  // namespace gmg

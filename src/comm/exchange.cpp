@@ -1,0 +1,267 @@
+#include "comm/exchange.hpp"
+
+#include <cstring>
+
+namespace gmg::comm {
+
+namespace {
+/// Tags: the sender tags a message with its own outgoing direction, so
+/// the receiver posts opposite(dir). kPerBrick appends a per-brick
+/// sequence number.
+constexpr int kPerBrickTagStride = 64;
+int per_brick_tag(int dir, int seq) { return dir + kPerBrickTagStride * (seq + 1); }
+}  // namespace
+
+BrickExchange::BrickExchange(std::shared_ptr<const BrickGrid> grid,
+                             BrickShape shape, const CartDecomp& decomp,
+                             int rank, BrickExchangeMode mode)
+    : grid_(std::move(grid)), shape_(shape), rank_(rank), mode_(mode) {
+  GMG_REQUIRE(grid_ != nullptr, "null brick grid");
+  for (int dir = 0; dir < kNumDirections; ++dir) {
+    if (dir == kSelfDirection) continue;
+    DirectionPlan plan;
+    plan.dir = dir;
+    plan.neighbor = decomp.neighbor(rank, dir);
+    plan.self = (plan.neighbor == rank);
+    plan.recv_range = grid_->ghost_range(dir);
+    // Self-copies source from the surface facing the *opposite* side
+    // (periodic wrap); remote sends carry the surface facing `dir`.
+    const Box src_box =
+        plan.self ? grid_->surface_box(opposite_direction(dir))
+                  : grid_->surface_box(dir);
+    plan.send_runs = grid_->segments_of(src_box);
+
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(plan.recv_range.count) *
+        static_cast<std::uint64_t>(shape_.volume()) * kRealBytes;
+    bytes_per_exchange_ += bytes;
+    if (!plan.self) {
+      remote_bytes_ += bytes;
+      ++remote_neighbors_;
+    }
+    plans_.push_back(std::move(plan));
+  }
+  send_staging_.resize(plans_.size());
+  recv_staging_.resize(plans_.size());
+}
+
+void BrickExchange::exchange(Communicator& comm, BrickedArray& field) {
+  std::vector<BrickedArray*> one{&field};
+  exchange(comm, one);
+}
+
+void BrickExchange::exchange(Communicator& comm,
+                             std::vector<BrickedArray*> fields) {
+  GMG_REQUIRE(!fields.empty(), "no fields to exchange");
+  for (BrickedArray* f : fields) {
+    GMG_REQUIRE(f->grid_ptr().get() == grid_.get(),
+                "field does not share this engine's brick grid");
+  }
+  const std::size_t vol = static_cast<std::size_t>(shape_.volume());
+  const std::size_t brick_bytes = vol * kRealBytes;
+
+  std::vector<Request> requests;
+  requests.reserve(plans_.size() * 2 * fields.size());
+
+  // Post all receives first (the usual MPI_IRecv-before-ISend pattern).
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    const DirectionPlan& plan = plans_[p];
+    if (plan.self) continue;
+    const int tag = opposite_direction(plan.dir);
+    switch (mode_) {
+      case BrickExchangeMode::kPackFree: {
+        std::vector<Segment> segs;
+        segs.reserve(fields.size());
+        for (BrickedArray* f : fields) {
+          segs.push_back(Segment{
+              f->brick(plan.recv_range.first),
+              static_cast<std::size_t>(plan.recv_range.count) * brick_bytes});
+        }
+        requests.push_back(comm.irecvv(std::move(segs), plan.neighbor, tag));
+        break;
+      }
+      case BrickExchangeMode::kPacked: {
+        const std::size_t n =
+            static_cast<std::size_t>(plan.recv_range.count) * vol *
+            fields.size();
+        if (recv_staging_[p].size() < n) recv_staging_[p].reset(n, false);
+        requests.push_back(comm.irecv(recv_staging_[p].data(), n * kRealBytes,
+                                      plan.neighbor, tag));
+        break;
+      }
+      case BrickExchangeMode::kPerBrick: {
+        int seq = 0;
+        for (BrickedArray* f : fields) {
+          for (std::int32_t b = 0; b < plan.recv_range.count; ++b) {
+            requests.push_back(
+                comm.irecv(f->brick(plan.recv_range.first + b), brick_bytes,
+                           plan.neighbor, per_brick_tag(tag, seq++)));
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Sends and local periodic copies.
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    const DirectionPlan& plan = plans_[p];
+    if (plan.self) {
+      // Periodic wrap onto ourselves: copy surface bricks into our own
+      // ghost range, in matching lexicographic order.
+      for (BrickedArray* f : fields) {
+        std::int32_t dst = plan.recv_range.first;
+        for (const BrickRange& run : plan.send_runs) {
+          std::memcpy(f->brick(dst), f->brick(run.first),
+                      static_cast<std::size_t>(run.count) * brick_bytes);
+          dst += run.count;
+        }
+      }
+      continue;
+    }
+    const int tag = plan.dir;
+    switch (mode_) {
+      case BrickExchangeMode::kPackFree: {
+        std::vector<ConstSegment> segs;
+        for (BrickedArray* f : fields) {
+          for (const BrickRange& run : plan.send_runs) {
+            segs.emplace_back(
+                f->brick(run.first),
+                static_cast<std::size_t>(run.count) * brick_bytes);
+          }
+        }
+        requests.push_back(comm.isendv(std::move(segs), plan.neighbor, tag));
+        break;
+      }
+      case BrickExchangeMode::kPacked: {
+        std::size_t total = 0;
+        for (const BrickRange& run : plan.send_runs)
+          total += static_cast<std::size_t>(run.count) * vol;
+        total *= fields.size();
+        if (send_staging_[p].size() < total)
+          send_staging_[p].reset(total, false);
+        real_t* dst = send_staging_[p].data();
+        for (BrickedArray* f : fields) {
+          for (const BrickRange& run : plan.send_runs) {
+            std::memcpy(dst, f->brick(run.first),
+                        static_cast<std::size_t>(run.count) * brick_bytes);
+            dst += static_cast<std::size_t>(run.count) * vol;
+          }
+        }
+        requests.push_back(comm.isend(send_staging_[p].data(),
+                                      total * kRealBytes, plan.neighbor, tag));
+        break;
+      }
+      case BrickExchangeMode::kPerBrick: {
+        int seq = 0;
+        for (BrickedArray* f : fields) {
+          for (const BrickRange& run : plan.send_runs) {
+            for (std::int32_t b = 0; b < run.count; ++b) {
+              requests.push_back(comm.isend(f->brick(run.first + b),
+                                            brick_bytes, plan.neighbor,
+                                            per_brick_tag(tag, seq++)));
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  comm.wait_all(requests);
+
+  // kPacked: unpack staged receives into the ghost ranges.
+  if (mode_ == BrickExchangeMode::kPacked) {
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      const DirectionPlan& plan = plans_[p];
+      if (plan.self) continue;
+      const real_t* src = recv_staging_[p].data();
+      for (BrickedArray* f : fields) {
+        std::memcpy(f->brick(plan.recv_range.first), src,
+                    static_cast<std::size_t>(plan.recv_range.count) *
+                        brick_bytes);
+        src += static_cast<std::size_t>(plan.recv_range.count) * vol;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ArrayExchange
+// ---------------------------------------------------------------------------
+
+ArrayExchange::ArrayExchange(Vec3 subdomain_extent, index_t ghost_depth,
+                             const CartDecomp& decomp, int rank)
+    : extent_(subdomain_extent), ghost_(ghost_depth), rank_(rank) {
+  GMG_REQUIRE(ghost_ >= 1, "ghost depth must be at least 1");
+  const Box interior = Box::from_extent(extent_);
+  for (int dir = 0; dir < kNumDirections; ++dir) {
+    if (dir == kSelfDirection) continue;
+    DirectionPlan plan;
+    plan.dir = dir;
+    plan.neighbor = decomp.neighbor(rank, dir);
+    plan.self = (plan.neighbor == rank);
+    plan.recv_region = ghost_region(interior, dir, ghost_);
+    plan.send_region =
+        plan.self ? surface_region(interior, opposite_direction(dir), ghost_)
+                  : surface_region(interior, dir, ghost_);
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(plan.recv_region.volume()) * kRealBytes;
+    bytes_per_exchange_ += bytes;
+    if (!plan.self) remote_bytes_ += bytes;
+    plans_.push_back(plan);
+  }
+  send_staging_.resize(plans_.size());
+  recv_staging_.resize(plans_.size());
+}
+
+void ArrayExchange::exchange(Communicator& comm, Array3D& field) {
+  GMG_REQUIRE(field.extent() == extent_ && field.ghost() >= ghost_,
+              "field does not match this exchange plan");
+  std::vector<Request> requests;
+  requests.reserve(plans_.size() * 2);
+
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    const DirectionPlan& plan = plans_[p];
+    if (plan.self) continue;
+    const std::size_t n = static_cast<std::size_t>(plan.recv_region.volume());
+    if (recv_staging_[p].size() < n) recv_staging_[p].reset(n, false);
+    requests.push_back(comm.irecv(recv_staging_[p].data(), n * kRealBytes,
+                                  plan.neighbor,
+                                  opposite_direction(plan.dir)));
+  }
+
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    const DirectionPlan& plan = plans_[p];
+    if (plan.self) {
+      // Periodic wrap onto ourselves: ghost cell <- interior cell
+      // shifted by one subdomain extent along the wrapped axes.
+      const Vec3 off = direction_offset(plan.dir);
+      const Vec3 shiftv{-off.x * extent_.x, -off.y * extent_.y,
+                        -off.z * extent_.z};
+      for_each(plan.recv_region, [&](index_t i, index_t j, index_t k) {
+        field(i, j, k) = field(i + shiftv.x, j + shiftv.y, k + shiftv.z);
+      });
+      continue;
+    }
+    const std::size_t n = static_cast<std::size_t>(plan.send_region.volume());
+    if (send_staging_[p].size() < n) send_staging_[p].reset(n, false);
+    real_t* dst = send_staging_[p].data();
+    for_each(plan.send_region,
+             [&](index_t i, index_t j, index_t k) { *dst++ = field(i, j, k); });
+    requests.push_back(comm.isend(send_staging_[p].data(), n * kRealBytes,
+                                  plan.neighbor, plan.dir));
+  }
+
+  comm.wait_all(requests);
+
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    const DirectionPlan& plan = plans_[p];
+    if (plan.self) continue;
+    const real_t* src = recv_staging_[p].data();
+    for_each(plan.recv_region,
+             [&](index_t i, index_t j, index_t k) { field(i, j, k) = *src++; });
+  }
+}
+
+}  // namespace gmg::comm

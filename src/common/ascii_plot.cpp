@@ -1,0 +1,104 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gmg {
+
+AsciiPlot::AsciiPlot(Options options) : opt_(options) {
+  GMG_REQUIRE(opt_.width >= 8 && opt_.height >= 4, "plot area too small");
+}
+
+void AsciiPlot::add_series(const std::string& name,
+                           std::vector<std::pair<double, double>> points) {
+  GMG_REQUIRE(series_.size() < 26, "too many series");
+  series_.push_back(Series{name, std::move(points)});
+}
+
+std::string AsciiPlot::render() const {
+  // Bounds over all (transformed) points.
+  const auto tx = [&](double v) { return opt_.log_x ? std::log10(v) : v; };
+  const auto ty = [&](double v) { return opt_.log_y ? std::log10(v) : v; };
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const Series& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      GMG_REQUIRE(!opt_.log_x || x > 0, "log x-axis needs positive values");
+      GMG_REQUIRE(!opt_.log_y || y > 0, "log y-axis needs positive values");
+      xmin = std::min(xmin, tx(x));
+      xmax = std::max(xmax, tx(x));
+      ymin = std::min(ymin, ty(y));
+      ymax = std::max(ymax, ty(y));
+    }
+  }
+  GMG_REQUIRE(xmin <= xmax, "nothing to plot");
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(opt_.height),
+      std::string(static_cast<std::size_t>(opt_.width), ' '));
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const char glyph = static_cast<char>('a' + s);
+    for (const auto& [x, y] : series_[s].points) {
+      const int col = static_cast<int>(std::lround(
+          (tx(x) - xmin) / (xmax - xmin) * (opt_.width - 1)));
+      const int row = static_cast<int>(std::lround(
+          (ty(y) - ymin) / (ymax - ymin) * (opt_.height - 1)));
+      auto& cell = canvas[static_cast<std::size_t>(opt_.height - 1 - row)]
+                         [static_cast<std::size_t>(col)];
+      // Overlapping series show the later glyph capitalized as a clash
+      // marker.
+      cell = (cell == ' ' || cell == glyph)
+                 ? glyph
+                 : static_cast<char>(std::toupper(glyph));
+    }
+  }
+
+  const auto fmt = [&](double v, bool is_log) {
+    std::ostringstream os;
+    os << std::setprecision(3) << (is_log ? std::pow(10.0, v) : v);
+    return os.str();
+  };
+
+  std::ostringstream os;
+  if (!opt_.y_label.empty()) os << opt_.y_label << '\n';
+  const std::string ytop = fmt(ymax, opt_.log_y);
+  const std::string ybot = fmt(ymin, opt_.log_y);
+  const std::size_t margin = std::max(ytop.size(), ybot.size());
+  for (int r = 0; r < opt_.height; ++r) {
+    std::string label;
+    if (r == 0) label = ytop;
+    if (r == opt_.height - 1) label = ybot;
+    os << std::setw(static_cast<int>(margin)) << label << " |"
+       << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(margin + 1, ' ') << '+'
+     << std::string(static_cast<std::size_t>(opt_.width), '-') << '\n';
+  const std::string xlo = fmt(xmin, opt_.log_x);
+  const std::string xhi = fmt(xmax, opt_.log_x);
+  os << std::string(margin + 2, ' ') << xlo
+     << std::string(
+            std::max<std::size_t>(
+                1, static_cast<std::size_t>(opt_.width) - xlo.size() -
+                       xhi.size()),
+            ' ')
+     << xhi;
+  if (!opt_.x_label.empty()) os << "  " << opt_.x_label;
+  os << '\n';
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    os << "  " << static_cast<char>('a' + s) << " = " << series_[s].name
+       << '\n';
+  }
+  return os.str();
+}
+
+void AsciiPlot::print() const { std::cout << render() << std::flush; }
+
+}  // namespace gmg

@@ -1,0 +1,42 @@
+// Terminal plotting for the bench harnesses: the paper's figures are
+// log-log curves (GStencil/s vs size, GB/s vs message volume,
+// efficiency vs nodes); rendering them directly in the bench output
+// makes the reproduced *shapes* visible without leaving the terminal.
+// CSV sidecars remain the machine-readable record.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gmg {
+
+class AsciiPlot {
+ public:
+  struct Options {
+    int width = 64;    // plot area columns
+    int height = 16;   // plot area rows
+    bool log_x = false;
+    bool log_y = false;
+    std::string x_label;
+    std::string y_label;
+  };
+
+  explicit AsciiPlot(Options options);
+
+  /// Add one named series; each series gets its own glyph (a, b, c...).
+  void add_series(const std::string& name,
+                  std::vector<std::pair<double, double>> points);
+
+  std::string render() const;
+  void print() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+  };
+  Options opt_;
+  std::vector<Series> series_;
+};
+
+}  // namespace gmg

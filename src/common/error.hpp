@@ -1,0 +1,41 @@
+// Error handling: precondition checks that throw with location info.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gmg {
+
+/// Exception type for all library-level contract violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace gmg
+
+/// Check a precondition; throws gmg::Error on failure. Always enabled —
+/// these guard API misuse, not hot inner loops.
+#define GMG_REQUIRE(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::gmg::detail::throw_error(#cond, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+/// Debug-only assertion for hot paths; compiled out in release builds.
+#ifndef NDEBUG
+#define GMG_ASSERT(cond) GMG_REQUIRE(cond, "debug assertion")
+#else
+#define GMG_ASSERT(cond) ((void)0)
+#endif

@@ -1,0 +1,113 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gmg {
+
+void Options::add_flag(const std::string& key, const std::string& help,
+                       const std::string& default_value) {
+  specs_[key] = Spec{help, default_value, /*is_switch=*/false, false};
+}
+
+void Options::add_switch(const std::string& key, const std::string& help) {
+  specs_[key] = Spec{help, "0", /*is_switch=*/true, false};
+}
+
+void Options::parse(int argc, const char* const argv[]) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    GMG_REQUIRE(arg.size() >= 2 && arg[0] == '-',
+                "expected flag, got '" + arg + "'");
+    std::string key = arg.substr(arg[1] == '-' ? 2 : 1);
+    std::string inline_value;
+    bool has_inline = false;
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      inline_value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      has_inline = true;
+    }
+    auto it = specs_.find(key);
+    GMG_REQUIRE(it != specs_.end(), "unknown flag '" + arg + "'");
+    Spec& spec = it->second;
+    spec.seen = true;
+    if (spec.is_switch) {
+      spec.value = has_inline ? inline_value : "1";
+    } else if (has_inline) {
+      spec.value = inline_value;
+    } else {
+      GMG_REQUIRE(i + 1 < argc, "flag '" + arg + "' expects a value");
+      spec.value = argv[++i];
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const {
+  auto it = specs_.find(key);
+  return it != specs_.end() && it->second.seen;
+}
+
+std::string Options::get(const std::string& key) const {
+  auto it = specs_.find(key);
+  GMG_REQUIRE(it != specs_.end(), "flag '" + key + "' was never declared");
+  return it->second.value;
+}
+
+long Options::get_int(const std::string& key) const {
+  const std::string v = get(key);
+  char* end = nullptr;
+  long r = std::strtol(v.c_str(), &end, 10);
+  GMG_REQUIRE(end && *end == '\0' && !v.empty(),
+              "flag '" + key + "': '" + v + "' is not an integer");
+  return r;
+}
+
+double Options::get_double(const std::string& key) const {
+  const std::string v = get(key);
+  char* end = nullptr;
+  double r = std::strtod(v.c_str(), &end);
+  GMG_REQUIRE(end && *end == '\0' && !v.empty(),
+              "flag '" + key + "': '" + v + "' is not a number");
+  return r;
+}
+
+bool Options::get_bool(const std::string& key) const {
+  const std::string v = get(key);
+  return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
+Vec3 Options::get_vec3(const std::string& key) const {
+  const std::string v = get(key);
+  std::istringstream is(v);
+  Vec3 out;
+  char comma = 0;
+  is >> out.x;
+  GMG_REQUIRE(!is.fail(), "flag '" + key + "': bad extent '" + v + "'");
+  if (is >> comma) {
+    GMG_REQUIRE(comma == ',', "flag '" + key + "': expected commas in '" + v + "'");
+    is >> out.y >> comma >> out.z;
+    GMG_REQUIRE(!is.fail() && comma == ',',
+                "flag '" + key + "': bad extent '" + v + "'");
+  } else {
+    out.y = out.z = out.x;  // a single value means a cube
+  }
+  return out;
+}
+
+std::string Options::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [key, spec] : specs_) {
+    os << "  -" << key;
+    if (!spec.is_switch) os << " <value>";
+    os << "  " << spec.help;
+    if (!spec.is_switch && !spec.value.empty())
+      os << " (default: " << spec.value << ")";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gmg

@@ -1,0 +1,51 @@
+// Command-line options in the paper-artifact style:
+//   <exe> -s 512,512,512 -I 10 -l 6 -n 20
+// where -s is the subdomain size, -I timing iterations, -l V-cycle
+// levels, -n max solver iterations. Generic enough for all examples
+// and benches in this repo.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gmg {
+
+/// Minimal flag parser: "-x value" or "--name value" or "--name=value"
+/// plus boolean switches ("--flag"). Unknown flags are an error so that
+/// typos do not silently fall back to defaults.
+class Options {
+ public:
+  Options() = default;
+
+  /// Declare flags before parsing. `key` without dashes, e.g. "s".
+  void add_flag(const std::string& key, const std::string& help,
+                const std::string& default_value = "");
+  void add_switch(const std::string& key, const std::string& help);
+
+  void parse(int argc, const char* const argv[]);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key) const;
+  long get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  /// Parse "nx,ny,nz" (or a single "n" meaning a cube) into a Vec3.
+  Vec3 get_vec3(const std::string& key) const;
+
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string help;
+    std::string value;
+    bool is_switch = false;
+    bool seen = false;
+  };
+  std::map<std::string, Spec> specs_;
+};
+
+}  // namespace gmg

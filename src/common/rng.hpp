@@ -1,0 +1,28 @@
+// Deterministic random fields for tests and property sweeps.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/types.hpp"
+
+namespace gmg {
+
+/// Deterministic 64-bit RNG (fixed seed stream per id) so that tests
+/// and property sweeps are reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : gen_(seed) {}
+
+  real_t uniform(real_t lo = -1.0, real_t hi = 1.0) {
+    return std::uniform_real_distribution<real_t>(lo, hi)(gen_);
+  }
+  index_t uniform_int(index_t lo, index_t hi) {  // inclusive bounds
+    return std::uniform_int_distribution<index_t>(lo, hi)(gen_);
+  }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace gmg

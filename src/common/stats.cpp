@@ -1,0 +1,15 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace gmg {
+
+std::string RunningStats::summary() const {
+  std::ostringstream os;
+  os.precision(6);
+  os << '[' << min() << ", " << mean() << ", " << max() << "] (σ: "
+     << stddev() << ')';
+  return os.str();
+}
+
+}  // namespace gmg

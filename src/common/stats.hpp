@@ -1,0 +1,64 @@
+// Streaming statistics: the artifact output format reports
+// [min, avg, max] (σ) per operation across ranks/invocations.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace gmg {
+
+/// Welford-style running statistics over a stream of samples.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+  }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double total = na + nb;
+    m2_ += o.m2_ + delta * delta * na * nb / total;
+    mean_ = (na * mean_ + nb * o.mean_) / total;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+    n_ += o.n_;
+  }
+
+  std::size_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return mean_; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Artifact-style rendering: "[min, avg, max] (σ: s)".
+  std::string summary() const;
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace gmg

@@ -1,0 +1,37 @@
+// ASCII table rendering for bench harnesses: the paper's tables and
+// figure series are printed as aligned columns plus an optional CSV
+// sidecar for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gmg {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed precision. Rendered with a header rule, suitable for
+/// terminal output of paper tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent `cell()` calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& text);
+  Table& cell(double value, int precision = 3);
+  Table& cell(long value);
+  Table& cell_percent(double fraction, int precision = 1);  // 0.73 -> "73.0%"
+
+  std::string str() const;
+  void print() const;
+
+  /// Comma-separated form (headers + rows) for plotting scripts.
+  std::string csv() const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gmg

@@ -1,0 +1,11 @@
+#include "common/types.hpp"
+
+#include <ostream>
+
+namespace gmg {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ',' << v.y << ',' << v.z << ')';
+}
+
+}  // namespace gmg

@@ -1,0 +1,73 @@
+// Apply a DSL expression over the conventional ghosted array layout.
+// This is the reference/baseline engine: straightforward loop nest,
+// SIMD on the unit-stride axis.
+#pragma once
+
+#include <tuple>
+
+#include "dsl/expr.hpp"
+#include "mesh/array3d.hpp"
+
+namespace gmg::dsl {
+
+namespace detail {
+
+/// Accessor binding expression slots to Array3D inputs.
+template <typename... Arrays>
+struct ArrayAccessor {
+  std::tuple<const Arrays*...> in;
+
+  template <int Slot>
+  real_t load(index_t i, index_t j, index_t k) const {
+    return (*std::get<Slot>(in))(i, j, k);
+  }
+};
+
+}  // namespace detail
+
+/// out(i,j,k) = expr(i,j,k) over `region` (interior coordinates). The
+/// expression's taps must stay within the arrays' ghost shells — this
+/// is checked once up front, not per point.
+template <typename Expr, typename... Arrays>
+void apply(const Expr& expr, Array3D& out, const Box& region,
+           const Arrays&... inputs) {
+  const Extents e = expr.extents();
+  auto check = [&](const Array3D& a) {
+    for (int d = 0; d < 3; ++d) {
+      GMG_REQUIRE(region.lo[d] + e.lo[d] >= -a.ghost() &&
+                      region.hi[d] + e.hi[d] <= a.extent()[d] + a.ghost(),
+                  "stencil taps extend beyond the ghost shell");
+    }
+  };
+  (check(inputs), ...);
+  GMG_REQUIRE(out.whole().covers(region), "output does not cover region");
+
+  const detail::ArrayAccessor<Arrays...> acc{{&inputs...}};
+  for (index_t k = region.lo.z; k < region.hi.z; ++k) {
+    for (index_t j = region.lo.y; j < region.hi.y; ++j) {
+      real_t* __restrict row = &out(region.lo.x, j, k);
+#pragma omp simd
+      for (index_t i = 0; i < region.hi.x - region.lo.x; ++i) {
+        row[i] = expr.eval(acc, region.lo.x + i, j, k);
+      }
+    }
+  }
+}
+
+/// out(i,j,k) += expr(i,j,k) — used by interpolation+increment.
+template <typename Expr, typename... Arrays>
+void apply_increment(const Expr& expr, Array3D& out, const Box& region,
+                     const Arrays&... inputs) {
+  const detail::ArrayAccessor<Arrays...> acc{{&inputs...}};
+  for (index_t k = region.lo.z; k < region.hi.z; ++k) {
+    for (index_t j = region.lo.y; j < region.hi.y; ++j) {
+      real_t* __restrict row = &out(region.lo.x, j, k);
+#pragma omp simd
+      for (index_t i = 0; i < region.hi.x - region.lo.x; ++i) {
+        row[i] += expr.eval(acc, region.lo.x + i, j, k);
+      }
+    }
+  }
+}
+
+}  // namespace gmg::dsl

@@ -1,0 +1,48 @@
+// Offline stencil code generation — the reproduction of BrickLib's
+// vector code generator (paper §III). A stencil is described in a
+// small text format:
+//
+//     kernel laplacian_7pt
+//     coef alpha beta
+//     tap   0  0  0  alpha
+//     tap   1  0  0  beta
+//     tap  -1  0  0  beta
+//     ...
+//
+// and `generate_kernel` emits a specialized C++ brick kernel: taps are
+// grouped by coefficient, neighbor-brick row pointers are hoisted per
+// row, the row core is a branchless SIMD loop, and only the x-boundary
+// cells fall back to the generic element resolver — the same shape the
+// hand-written apply_op kernel (and BrickLib's generated CUDA/HIP/SYCL
+// code) has. tools/stencilgen is the CLI; generated headers are
+// checked in under src/dsl/generated/ and golden-tested.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gmg::dsl::codegen {
+
+struct Tap {
+  int dx = 0, dy = 0, dz = 0;
+  std::string coef;
+};
+
+struct StencilSpec {
+  std::string name;
+  std::vector<std::string> coefs;  // parameter order
+  std::vector<Tap> taps;
+
+  int radius() const;
+  /// Parse the text format above; throws gmg::Error on malformed
+  /// input (unknown directive, tap with undeclared coefficient, ...).
+  static StencilSpec parse(const std::string& text);
+};
+
+/// Emit the full generated header (include guard, namespace, kernel
+/// template, runtime-dispatch wrapper).
+std::string generate_kernel(const StencilSpec& spec);
+
+}  // namespace gmg::dsl::codegen

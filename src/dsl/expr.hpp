@@ -1,0 +1,211 @@
+// Stencil expression DSL — the C++ analogue of BrickLib's Python DSL
+// (paper Fig. 1). A 7-point stencil is written as:
+//
+//   using namespace gmg::dsl;
+//   constexpr Index<0> i; constexpr Index<1> j; constexpr Index<2> k;
+//   Grid<0> x;                       // input field, slot 0
+//   Coef alpha(-6.0 / (h * h)), beta(1.0 / (h * h));
+//   auto calc = alpha * x(i, j, k)
+//             + beta * (x(i + 1, j, k) + x(i - 1, j, k)
+//                     + x(i, j + 1, k) + x(i, j - 1, k)
+//                     + x(i, j, k + 1) + x(i, j, k - 1));
+//
+// Expressions are evaluated against an *accessor* supplying field loads
+// at relative offsets; the apply engines (apply_array.hpp /
+// apply_brick.hpp) instantiate the expression inside their loop nests,
+// so the compiler sees one fused, inlinable kernel per expression —
+// the same effect as BrickLib's code generator emitting a specialized
+// kernel from the DSL description.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace gmg::dsl {
+
+/// Relative tap offset of a grid access.
+struct Offset {
+  int dx = 0, dy = 0, dz = 0;
+};
+
+/// Per-axis index term `i + c`. D is the axis (0=i, 1=j, 2=k).
+template <int D>
+struct IndexTerm {
+  int shift = 0;
+};
+
+/// The loop indices of Fig. 1: Index(0), Index(1), Index(2).
+template <int D>
+struct Index {
+  constexpr operator IndexTerm<D>() const { return {0}; }
+  constexpr friend IndexTerm<D> operator+(Index, int c) { return {c}; }
+  constexpr friend IndexTerm<D> operator-(Index, int c) { return {-c}; }
+  constexpr friend IndexTerm<D> operator+(int c, Index) { return {c}; }
+};
+
+/// Stencil reach of an expression: per-axis min/max tap offsets.
+struct Extents {
+  int lo[3] = {0, 0, 0};
+  int hi[3] = {0, 0, 0};
+
+  constexpr Extents merged(const Extents& o) const {
+    Extents r;
+    for (int d = 0; d < 3; ++d) {
+      r.lo[d] = std::min(lo[d], o.lo[d]);
+      r.hi[d] = std::max(hi[d], o.hi[d]);
+    }
+    return r;
+  }
+  constexpr int radius() const {
+    int r = 0;
+    for (int d = 0; d < 3; ++d) r = std::max({r, -lo[d], hi[d]});
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Expression nodes. Each node provides:
+//   eval(acc, i, j, k) -> real_t     evaluate at a point via the accessor
+//   extents() -> Extents             static tap reach
+// Accessors provide: load(slot, i+dx, j+dy, k+dz) -> real_t.
+// ---------------------------------------------------------------------------
+
+/// Access to input field number `Slot` at a fixed offset.
+template <int Slot>
+struct GridAccess {
+  Offset off;
+
+  template <typename Acc>
+  real_t eval(const Acc& acc, index_t i, index_t j, index_t k) const {
+    return acc.template load<Slot>(i + off.dx, j + off.dy, k + off.dz);
+  }
+  constexpr Extents extents() const {
+    Extents e;
+    e.lo[0] = std::min(off.dx, 0);
+    e.hi[0] = std::max(off.dx, 0);
+    e.lo[1] = std::min(off.dy, 0);
+    e.hi[1] = std::max(off.dy, 0);
+    e.lo[2] = std::min(off.dz, 0);
+    e.hi[2] = std::max(off.dz, 0);
+    return e;
+  }
+};
+
+/// An input grid placeholder bound to accessor slot `Slot` (Fig. 1's
+/// Grid("x", 3)).
+template <int Slot>
+struct Grid {
+  constexpr GridAccess<Slot> operator()(IndexTerm<0> i, IndexTerm<1> j,
+                                        IndexTerm<2> k) const {
+    return {{i.shift, j.shift, k.shift}};
+  }
+};
+
+/// A scalar coefficient (Fig. 1's ConstRef), bound at construction.
+struct Coef {
+  real_t value;
+  constexpr explicit Coef(real_t v) : value(v) {}
+
+  template <typename Acc>
+  real_t eval(const Acc&, index_t, index_t, index_t) const {
+    return value;
+  }
+  constexpr Extents extents() const { return {}; }
+};
+
+template <typename L, typename R>
+struct Add {
+  L l;
+  R r;
+  template <typename Acc>
+  real_t eval(const Acc& a, index_t i, index_t j, index_t k) const {
+    return l.eval(a, i, j, k) + r.eval(a, i, j, k);
+  }
+  constexpr Extents extents() const { return l.extents().merged(r.extents()); }
+};
+
+template <typename L, typename R>
+struct Sub {
+  L l;
+  R r;
+  template <typename Acc>
+  real_t eval(const Acc& a, index_t i, index_t j, index_t k) const {
+    return l.eval(a, i, j, k) - r.eval(a, i, j, k);
+  }
+  constexpr Extents extents() const { return l.extents().merged(r.extents()); }
+};
+
+template <typename L, typename R>
+struct Mul {
+  L l;
+  R r;
+  template <typename Acc>
+  real_t eval(const Acc& a, index_t i, index_t j, index_t k) const {
+    return l.eval(a, i, j, k) * r.eval(a, i, j, k);
+  }
+  constexpr Extents extents() const { return l.extents().merged(r.extents()); }
+};
+
+template <typename E>
+struct Neg {
+  E e;
+  template <typename Acc>
+  real_t eval(const Acc& a, index_t i, index_t j, index_t k) const {
+    return -e.eval(a, i, j, k);
+  }
+  constexpr Extents extents() const { return e.extents(); }
+};
+
+// Trait gating the operators to DSL node types only.
+template <typename T>
+struct is_expr : std::false_type {};
+template <int S>
+struct is_expr<GridAccess<S>> : std::true_type {};
+template <>
+struct is_expr<Coef> : std::true_type {};
+template <typename L, typename R>
+struct is_expr<Add<L, R>> : std::true_type {};
+template <typename L, typename R>
+struct is_expr<Sub<L, R>> : std::true_type {};
+template <typename L, typename R>
+struct is_expr<Mul<L, R>> : std::true_type {};
+template <typename E>
+struct is_expr<Neg<E>> : std::true_type {};
+
+template <typename T>
+concept ExprNode = is_expr<std::remove_cvref_t<T>>::value;
+
+/// Wrap raw doubles so `2.0 * x(i,j,k)` works like `Coef(2.0) * ...`.
+template <typename T>
+constexpr decltype(auto) as_expr(T&& v) {
+  if constexpr (ExprNode<T>) {
+    return std::forward<T>(v);
+  } else {
+    return Coef(static_cast<real_t>(v));
+  }
+}
+
+template <typename L, typename R>
+  requires(ExprNode<L> || ExprNode<R>)
+constexpr auto operator+(L l, R r) {
+  return Add{as_expr(l), as_expr(r)};
+}
+template <typename L, typename R>
+  requires(ExprNode<L> || ExprNode<R>)
+constexpr auto operator-(L l, R r) {
+  return Sub{as_expr(l), as_expr(r)};
+}
+template <typename L, typename R>
+  requires(ExprNode<L> || ExprNode<R>)
+constexpr auto operator*(L l, R r) {
+  return Mul{as_expr(l), as_expr(r)};
+}
+template <ExprNode E>
+constexpr auto operator-(E e) {
+  return Neg{e};
+}
+
+}  // namespace gmg::dsl

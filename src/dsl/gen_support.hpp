@@ -1,0 +1,75 @@
+// Runtime support for kernels emitted by tools/stencilgen — the
+// reproduction's analogue of BrickLib's vector code generator
+// (paper §III). Generated kernels iterate brick-by-brick; this header
+// supplies the brick/row/element resolution they lean on, so the
+// emitted code is just the unrolled, coefficient-factored loop body.
+#pragma once
+
+#include "brick/bricked_array.hpp"
+
+namespace gmg::dsl::gen {
+
+/// Per-brick context handed to generated loop bodies: resolves
+/// neighbor-brick row pointers and single out-of-brick elements
+/// through the adjacency table.
+template <typename BD>
+struct BrickCtx {
+  const real_t* in_base = nullptr;      // input field storage
+  const std::int32_t* adj = nullptr;    // 27-entry adjacency of brick
+
+  const real_t* brick(int sx, int sy, int sz) const {
+    const std::int32_t b = adj[direction_index(sx, sy, sz)];
+    GMG_ASSERT(b >= 0);
+    return in_base + static_cast<std::size_t>(b) * BD::volume;
+  }
+
+  /// Pointer to the row holding taps at plane offset (dy, dz) from
+  /// local row (lj, lk); |dy|,|dz| <= brick dims.
+  const real_t* row(index_t lj, index_t lk, int dy, int dz) const {
+    index_t j = lj + dy, k = lk + dz;
+    const int sy = j < 0 ? -1 : (j >= BD::by ? 1 : 0);
+    const int sz = k < 0 ? -1 : (k >= BD::bz ? 1 : 0);
+    j -= sy * BD::by;
+    k -= sz * BD::bz;
+    return brick(0, sy, sz) + (k * BD::by + j) * BD::bx;
+  }
+
+  /// Single element at tap (dx, dy, dz) from local cell (li, lj, lk),
+  /// resolving all three axes (used for the x-boundary patch cells).
+  real_t at(index_t li, index_t lj, index_t lk, int dx, int dy,
+            int dz) const {
+    index_t i = li + dx, j = lj + dy, k = lk + dz;
+    const int sx = i < 0 ? -1 : (i >= BD::bx ? 1 : 0);
+    const int sy = j < 0 ? -1 : (j >= BD::by ? 1 : 0);
+    const int sz = k < 0 ? -1 : (k >= BD::bz ? 1 : 0);
+    i -= sx * BD::bx;
+    j -= sy * BD::by;
+    k -= sz * BD::bz;
+    return brick(sx, sy, sz)[(k * BD::by + j) * BD::bx + i];
+  }
+};
+
+/// Brick range covered by an active cell region, with the tap-reach
+/// check shared by all generated kernels.
+template <typename BD>
+Box generated_brick_region(const BrickGrid& grid, const Box& active,
+                           int radius) {
+  const Box brick_region{
+      {floor_div(active.lo.x, BD::bx), floor_div(active.lo.y, BD::by),
+       floor_div(active.lo.z, BD::bz)},
+      {floor_div(active.hi.x - 1, BD::bx) + 1,
+       floor_div(active.hi.y - 1, BD::by) + 1,
+       floor_div(active.hi.z - 1, BD::bz) + 1}};
+  const Box tap_region{
+      {floor_div(active.lo.x - radius, BD::bx),
+       floor_div(active.lo.y - radius, BD::by),
+       floor_div(active.lo.z - radius, BD::bz)},
+      {floor_div(active.hi.x - 1 + radius, BD::bx) + 1,
+       floor_div(active.hi.y - 1 + radius, BD::by) + 1,
+       floor_div(active.hi.z - 1 + radius, BD::bz) + 1}};
+  GMG_REQUIRE(grid.extended_box().covers(tap_region),
+              "stencil taps reach beyond the ghost bricks");
+  return brick_region;
+}
+
+}  // namespace gmg::dsl::gen

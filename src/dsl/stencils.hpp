@@ -1,0 +1,55 @@
+// Pre-built stencil expressions used throughout the library: the
+// paper's 7-point constant-coefficient operator plus general star
+// stencils of radius 1..4 for the DSL tests and microbenches.
+#pragma once
+
+#include <array>
+
+#include "dsl/expr.hpp"
+
+namespace gmg::dsl {
+
+inline constexpr Index<0> i{};
+inline constexpr Index<1> j{};
+inline constexpr Index<2> k{};
+
+/// The paper's applyOp stencil (Fig. 1): alpha*center + beta*(6
+/// face neighbors). Factored form — 6 adds + 2 multiplies = 8 FLOPs
+/// per point, matching the Table IV accounting (AI = 8/16 = 0.50).
+template <int Slot = 0>
+constexpr auto laplacian_7pt(real_t alpha, real_t beta) {
+  Grid<Slot> x;
+  return Coef(alpha) * x(i, j, k) +
+         Coef(beta) * (x(i + 1, j, k) + x(i - 1, j, k) + x(i, j + 1, k) +
+                       x(i, j - 1, k) + x(i, j, k + 1) + x(i, j, k - 1));
+}
+
+/// Star stencil of radius R with per-distance coefficients:
+/// c[0]*center + sum_d c[d]*(6 neighbors at distance d). Exercises the
+/// DSL and the brick engine's shell/core split at larger radii.
+template <int R, int Slot = 0>
+constexpr auto star_stencil(const std::array<real_t, R + 1>& c) {
+  Grid<Slot> x;
+  auto acc = Coef(c[0]) * x(i, j, k);
+  if constexpr (R >= 1) {
+    auto ring = [&](int d) {
+      return x(i + d, j, k) + x(i - d, j, k) + x(i, j + d, k) +
+             x(i, j - d, k) + x(i, j, k + d) + x(i, j, k - d);
+    };
+    if constexpr (R == 1) {
+      return acc + Coef(c[1]) * ring(1);
+    } else if constexpr (R == 2) {
+      return acc + Coef(c[1]) * ring(1) + Coef(c[2]) * ring(2);
+    } else if constexpr (R == 3) {
+      return acc + Coef(c[1]) * ring(1) + Coef(c[2]) * ring(2) +
+             Coef(c[3]) * ring(3);
+    } else {
+      return acc + Coef(c[1]) * ring(1) + Coef(c[2]) * ring(2) +
+             Coef(c[3]) * ring(3) + Coef(c[4]) * ring(4);
+    }
+  } else {
+    return acc;
+  }
+}
+
+}  // namespace gmg::dsl

@@ -1,0 +1,104 @@
+// The V-cycle operators on bricked storage (paper §IV-C):
+//   applyOp            Ax = A x (7-point constant-coefficient stencil)
+//   smooth             x := x + gamma*(Ax - b)          (point Jacobi)
+//   smooth+residual    fused smooth and r = b - Ax
+//   restriction        coarse b = volume average of 8 fine residuals
+//   interp+increment   fine x += piecewise-constant coarse correction
+//   initZero / maxNorm
+//
+// Every cell-space operator takes an *active region* that may extend
+// into the ghost bricks; the communication-avoiding scheduler (see
+// vcycle.hpp) shrinks it by one cell per sweep between exchanges.
+#pragma once
+
+#include "brick/bricked_array.hpp"
+#include "common/types.hpp"
+
+namespace gmg {
+
+/// Ax = alpha*x + beta * (6-point neighbor sum) over `active`.
+void apply_op(BrickedArray& Ax, const BrickedArray& x, real_t alpha,
+              real_t beta, const Box& active);
+
+/// x += gamma * (Ax - b) over `active`.
+void smooth(BrickedArray& x, const BrickedArray& Ax, const BrickedArray& b,
+            real_t gamma, const Box& active);
+
+/// Fused point-Jacobi smooth and residual (r = b - Ax, using the
+/// pre-smooth Ax, exactly as the paper's fused kernel does).
+void smooth_residual(BrickedArray& x, BrickedArray& r, const BrickedArray& Ax,
+                     const BrickedArray& b, real_t gamma, const Box& active);
+
+/// r = b - Ax over `active`.
+void residual(BrickedArray& r, const BrickedArray& b, const BrickedArray& Ax,
+              const Box& active);
+
+/// coarse(i,j,k) = average of the 8 fine cells it covers. Operates on
+/// the full interiors; the grids must satisfy fine extent == 2x coarse
+/// extent and share the same (cubic, even) brick shape.
+void restriction(BrickedArray& coarse, const BrickedArray& fine);
+
+/// fine(i,j,k) += coarse(i/2, j/2, k/2) over the full fine interior.
+void interpolation_increment(BrickedArray& fine, const BrickedArray& coarse);
+
+/// Zero the entire storage (interior and ghost bricks — ghost zeros
+/// are valid periodic data for a zero field, saving one exchange after
+/// initZero in the downsweep).
+void init_zero(BrickedArray& a);
+
+/// max |a| over the subdomain interior (this rank's part of the
+/// convergence norm; reduce across ranks with allreduce_max).
+real_t max_norm(const BrickedArray& a);
+
+/// Sum of a(i)^2 over the interior (combine across ranks with
+/// allreduce_sum, then sqrt, for the global L2 norm).
+real_t norm2_sq(const BrickedArray& a);
+
+// ---------------------------------------------------------------------------
+// BLAS-1-style kernels. The *_interior forms scan the contiguous
+// interior-brick storage range (used by the conjugate-gradient bottom
+// solver); the Box forms honor a communication-avoiding active region
+// (used by the Chebyshev smoother).
+// ---------------------------------------------------------------------------
+
+/// Local <a, b> over the interior.
+real_t dot_interior(const BrickedArray& a, const BrickedArray& b);
+
+/// y += alpha * x over the interior.
+void axpy_interior(BrickedArray& y, real_t alpha, const BrickedArray& x);
+
+/// y = x + beta * y over the interior (CG direction update).
+void xpay_interior(BrickedArray& y, const BrickedArray& x, real_t beta);
+
+/// dst = src over the interior.
+void copy_interior(BrickedArray& dst, const BrickedArray& src);
+
+/// y += alpha * x over `active`.
+void axpy(BrickedArray& y, real_t alpha, const BrickedArray& x,
+          const Box& active);
+
+/// Chebyshev direction update: p = inv_diag * r + beta * p over
+/// `active` (the preconditioned residual folded into the recurrence).
+void cheby_p_update(BrickedArray& p, const BrickedArray& r, real_t inv_diag,
+                    real_t beta, const Box& active);
+
+/// One Gauss-Seidel half-sweep over the cells of one red-black color
+/// (global parity of i+j+k, so the coloring is decomposition-
+/// independent): x_i = (b_i - beta * sum of 6 neighbors) / alpha.
+/// `origin` is this rank's global offset (rank_box.lo) so local cells
+/// map to the global checkerboard. Radius-1 operator only.
+void gs_color_sweep(BrickedArray& x, const BrickedArray& b, real_t alpha,
+                    real_t beta, int color, Vec3 origin, const Box& active);
+
+/// fine(i,j,k) = coarse(i/2,j/2,k/2) (piecewise-constant prolongation;
+/// the increment form is the V-cycle's correction transfer).
+void interpolation_assign(BrickedArray& fine, const BrickedArray& coarse);
+
+/// Cell-centered trilinear prolongation (per-axis weights 3/4, 1/4) —
+/// the higher-order transfer classic FMG requires for its initial
+/// guesses. Reads one coarse ghost layer: exchange the coarse field
+/// first.
+void interpolation_trilinear_assign(BrickedArray& fine,
+                                    const BrickedArray& coarse);
+
+}  // namespace gmg

@@ -1,0 +1,146 @@
+#include "gmg/operators_varcoef.hpp"
+
+#include "dsl/apply_brick.hpp"
+#include "dsl/stencils.hpp"
+
+namespace gmg {
+
+namespace {
+
+/// Row visitor shared by the pointwise variable-coefficient kernels
+/// (same shape as the one in operators.cpp, duplicated to keep both
+/// translation units self-contained).
+template <typename BD, typename Fn>
+void for_each_row_vc(BD, const BrickGrid& grid, const Box& active, Fn&& fn) {
+  const Box brick_region{
+      {floor_div(active.lo.x, BD::bx), floor_div(active.lo.y, BD::by),
+       floor_div(active.lo.z, BD::bz)},
+      {floor_div(active.hi.x - 1, BD::bx) + 1,
+       floor_div(active.hi.y - 1, BD::by) + 1,
+       floor_div(active.hi.z - 1, BD::bz) + 1}};
+  GMG_REQUIRE(grid.extended_box().covers(brick_region),
+              "active region extends beyond the ghost bricks");
+  const Vec3 bl = brick_region.lo, bh = brick_region.hi;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (index_t bz = bl.z; bz < bh.z; ++bz) {
+    for (index_t by = bl.y; by < bh.y; ++by) {
+      for (index_t bx = bl.x; bx < bh.x; ++bx) {
+        const std::int32_t id = grid.storage_id({bx, by, bz});
+        GMG_ASSERT(id >= 0);
+        const index_t cx = bx * BD::bx, cy = by * BD::by, cz = bz * BD::bz;
+        const index_t ilo = std::max<index_t>(0, active.lo.x - cx);
+        const index_t ihi = std::min<index_t>(BD::bx, active.hi.x - cx);
+        const index_t jlo = std::max<index_t>(0, active.lo.y - cy);
+        const index_t jhi = std::min<index_t>(BD::by, active.hi.y - cy);
+        const index_t klo = std::max<index_t>(0, active.lo.z - cz);
+        const index_t khi = std::min<index_t>(BD::bz, active.hi.z - cz);
+        const std::size_t base = static_cast<std::size_t>(id) * BD::volume;
+        for (index_t lk = klo; lk < khi; ++lk) {
+          for (index_t lj = jlo; lj < jhi; ++lj) {
+            fn(base + static_cast<std::size_t>((lk * BD::by + lj) * BD::bx),
+               ilo, ihi);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void apply_op_varcoef(BrickedArray& Ax, const BrickedArray& x,
+                      const BrickedArray& beta, real_t identity_coef,
+                      real_t h, const Box& active) {
+  using namespace dsl;
+  Grid<0> X;
+  Grid<1> B;
+  const real_t f = 0.5 / (h * h);
+  // Face-averaged flux form, written directly in the stencil DSL with
+  // the coefficient bound to grid slot 1 (Fig. 1's "non-constant
+  // coefficients").
+  const auto expr =
+      Coef(identity_coef) * X(i, j, k) +
+      Coef(f) *
+          ((B(i, j, k) + B(i + 1, j, k)) * (X(i + 1, j, k) - X(i, j, k)) +
+           (B(i, j, k) + B(i - 1, j, k)) * (X(i - 1, j, k) - X(i, j, k)) +
+           (B(i, j, k) + B(i, j + 1, k)) * (X(i, j + 1, k) - X(i, j, k)) +
+           (B(i, j, k) + B(i, j - 1, k)) * (X(i, j - 1, k) - X(i, j, k)) +
+           (B(i, j, k) + B(i, j, k + 1)) * (X(i, j, k + 1) - X(i, j, k)) +
+           (B(i, j, k) + B(i, j, k - 1)) * (X(i, j, k - 1) - X(i, j, k)));
+  dsl::apply(expr, Ax, active, x, beta);
+}
+
+void varcoef_diagonal(BrickedArray& diag, const BrickedArray& beta,
+                      real_t identity_coef, real_t h, const Box& active) {
+  using namespace dsl;
+  Grid<0> B;
+  const real_t f = 0.5 / (h * h);
+  const auto expr =
+      Coef(identity_coef) -
+      Coef(f) * (Coef(6.0) * B(i, j, k) + B(i + 1, j, k) + B(i - 1, j, k) +
+                 B(i, j + 1, k) + B(i, j - 1, k) + B(i, j, k + 1) +
+                 B(i, j, k - 1));
+  dsl::apply(expr, diag, active, beta);
+}
+
+void smooth_residual_varcoef(BrickedArray& x, BrickedArray& r,
+                             const BrickedArray& Ax, const BrickedArray& b,
+                             const BrickedArray& diag, real_t omega,
+                             const Box& active) {
+  with_brick_dims(x.shape(), [&](auto bd) {
+    real_t* __restrict xp = x.data();
+    real_t* __restrict rp = r.data();
+    const real_t* __restrict axp = Ax.data();
+    const real_t* __restrict bp = b.data();
+    const real_t* __restrict dp = diag.data();
+    for_each_row_vc(bd, x.grid(), active,
+                    [&](std::size_t o, index_t ilo, index_t ihi) {
+#pragma omp simd
+                      for (index_t i = ilo; i < ihi; ++i) {
+                        const real_t ax = axp[o + i];
+                        const real_t rhs = bp[o + i];
+                        rp[o + i] = rhs - ax;
+                        xp[o + i] += (-omega / dp[o + i]) * (ax - rhs);
+                      }
+                    });
+  });
+}
+
+void smooth_varcoef(BrickedArray& x, const BrickedArray& Ax,
+                    const BrickedArray& b, const BrickedArray& diag,
+                    real_t omega, const Box& active) {
+  with_brick_dims(x.shape(), [&](auto bd) {
+    real_t* __restrict xp = x.data();
+    const real_t* __restrict axp = Ax.data();
+    const real_t* __restrict bp = b.data();
+    const real_t* __restrict dp = diag.data();
+    for_each_row_vc(bd, x.grid(), active,
+                    [&](std::size_t o, index_t ilo, index_t ihi) {
+#pragma omp simd
+                      for (index_t i = ilo; i < ihi; ++i) {
+                        xp[o + i] += (-omega / dp[o + i]) *
+                                     (axp[o + i] - bp[o + i]);
+                      }
+                    });
+  });
+}
+
+void cheby_p_update_varcoef(BrickedArray& p, const BrickedArray& r,
+                            const BrickedArray& diag, real_t beta_ch,
+                            const Box& active) {
+  with_brick_dims(p.shape(), [&](auto bd) {
+    real_t* __restrict pp = p.data();
+    const real_t* __restrict rp = r.data();
+    const real_t* __restrict dp = diag.data();
+    for_each_row_vc(bd, p.grid(), active,
+                    [&](std::size_t o, index_t ilo, index_t ihi) {
+#pragma omp simd
+                      for (index_t i = ilo; i < ihi; ++i) {
+                        pp[o + i] =
+                            rp[o + i] / dp[o + i] + beta_ch * pp[o + i];
+                      }
+                    });
+  });
+}
+
+}  // namespace gmg

@@ -1,0 +1,488 @@
+#include "gmg/solver.hpp"
+
+#include <cmath>
+
+#include "common/timer.hpp"
+#include "dsl/apply_brick.hpp"
+#include "dsl/stencils.hpp"
+#include "gmg/operators.hpp"
+#include "dsl/generated/laplacian_7pt_gen.hpp"
+#include "dsl/generated/star_13pt_gen.hpp"
+#include "gmg/operators_varcoef.hpp"
+
+namespace gmg {
+
+GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
+                     int rank)
+    : opts_(opts), rank_(rank) {
+  GMG_REQUIRE(opts_.levels >= 1, "need at least one level");
+  GMG_REQUIRE(opts_.smooths >= 1, "need at least one smoothing iteration");
+  GMG_REQUIRE(opts_.operator_radius == 1 || opts_.operator_radius == 2,
+              "operator radius must be 1 (7-point) or 2 (13-point)");
+  GMG_REQUIRE(opts_.operator_radius <= opts_.brick.bx,
+              "stencil radius exceeds the brick dimension");
+
+  const Vec3 sub0 = decomp.subdomain_extent();
+  const Vec3 global0 = decomp.global_extent();
+  const BrickShape shape = opts_.brick;
+
+  // Clamp depth: every level's subdomain must be brick-divisible and
+  // hold at least one brick per axis.
+  int levels = opts_.levels;
+  for (int l = 0; l < levels; ++l) {
+    const index_t scale = index_t{1} << l;
+    const bool ok =
+        sub0.x % (shape.bx * scale) == 0 && sub0.y % (shape.by * scale) == 0 &&
+        sub0.z % (shape.bz * scale) == 0 && sub0.x / scale >= shape.bx &&
+        sub0.y / scale >= shape.by && sub0.z / scale >= shape.bz;
+    if (!ok) {
+      levels = l;
+      break;
+    }
+  }
+  GMG_REQUIRE(levels >= 1,
+              "subdomain is too small for even one level with this brick "
+              "shape");
+  opts_.levels = levels;
+
+  const bool needs_p = opts_.smoother == Smoother::kChebyshev ||
+                       opts_.bottom == BottomSolverType::kConjugateGradient;
+
+  const Box rank_box0 = decomp.subdomain_box(rank);
+  levels_.reserve(static_cast<std::size_t>(levels));
+  for (int l = 0; l < levels; ++l) {
+    const index_t scale = index_t{1} << l;
+    MgLevel lev;
+    lev.level = l;
+    lev.cells = {sub0.x / scale, sub0.y / scale, sub0.z / scale};
+    lev.global = {global0.x / scale, global0.y / scale, global0.z / scale};
+    lev.rank_box = Box{{rank_box0.lo.x / scale, rank_box0.lo.y / scale,
+                        rank_box0.lo.z / scale},
+                       {rank_box0.hi.x / scale, rank_box0.hi.y / scale,
+                        rank_box0.hi.z / scale}};
+    lev.shape = shape;
+    lev.h = 1.0 / static_cast<real_t>(lev.global.x);
+    lev.radius = opts_.operator_radius;
+
+    // A = s*I + c*Laplacian_h. Radius 1: the paper's 7-point star.
+    // Radius 2: the 4th-order 13-point star with per-axis second-
+    // derivative weights (-1/12, 4/3, -5/2, 4/3, -1/12)/h^2.
+    const real_t c_over_h2 = opts_.laplacian_coef / (lev.h * lev.h);
+    if (lev.radius == 1) {
+      lev.alpha = opts_.identity_coef - 6.0 * c_over_h2;
+      lev.beta = c_over_h2;
+      lev.beta2 = 0.0;
+    } else {
+      lev.alpha = opts_.identity_coef - 3.0 * (5.0 / 2.0) * c_over_h2;
+      lev.beta = (4.0 / 3.0) * c_over_h2;
+      lev.beta2 = -(1.0 / 12.0) * c_over_h2;
+    }
+    GMG_REQUIRE(lev.alpha != 0.0, "operator diagonal vanishes");
+    // Point-Jacobi weight: omega/|diag| with omega = 1/2 generalizes
+    // the paper's gamma = h^2/12.
+    lev.gamma = -0.5 / lev.alpha;
+
+    lev.grid = std::make_shared<BrickGrid>(Vec3{
+        lev.cells.x / shape.bx, lev.cells.y / shape.by, lev.cells.z / shape.bz});
+    lev.x = BrickedArray(lev.grid, shape);
+    lev.b = BrickedArray(lev.grid, shape);
+    lev.Ax = BrickedArray(lev.grid, shape);
+    lev.r = BrickedArray(lev.grid, shape);
+    if (needs_p) lev.p = BrickedArray(lev.grid, shape);
+    lev.exchange = std::make_unique<comm::BrickExchange>(
+        lev.grid, shape, decomp, rank, opts_.exchange_mode);
+    levels_.push_back(std::move(lev));
+  }
+}
+
+void GmgSolver::set_rhs(
+    const std::function<real_t(real_t, real_t, real_t)>& f) {
+  MgLevel& fine = levels_.front();
+  const real_t h = fine.h;
+  for_each(fine.interior(), [&](index_t i, index_t j, index_t k) {
+    const real_t px = (static_cast<real_t>(fine.rank_box.lo.x + i) + 0.5) * h;
+    const real_t py = (static_cast<real_t>(fine.rank_box.lo.y + j) + 0.5) * h;
+    const real_t pz = (static_cast<real_t>(fine.rank_box.lo.z + k) + 0.5) * h;
+    fine.b(i, j, k) = f(px, py, pz);
+  });
+  init_zero(fine.x);
+  fine.margin = fine.shape.bx;  // zero ghosts are valid for a zero x
+  fine.b_ghosts_valid = false;
+  for (std::size_t l = 1; l < levels_.size(); ++l) {
+    init_zero(levels_[l].x);
+    init_zero(levels_[l].b);
+    levels_[l].margin = 0;
+    levels_[l].b_ghosts_valid = false;
+  }
+}
+
+void GmgSolver::set_coefficient(
+    comm::Communicator& comm,
+    const std::function<real_t(real_t, real_t, real_t)>& f) {
+  GMG_REQUIRE(opts_.operator_radius == 1,
+              "variable coefficients support the 7-point operator only");
+  MgLevel& fine = levels_.front();
+  fine.coef = BrickedArray(fine.grid, fine.shape);
+  const real_t h = fine.h;
+  for_each(fine.interior(), [&](index_t i, index_t j, index_t k) {
+    const real_t px = (static_cast<real_t>(fine.rank_box.lo.x + i) + 0.5) * h;
+    const real_t py = (static_cast<real_t>(fine.rank_box.lo.y + j) + 0.5) * h;
+    const real_t pz = (static_cast<real_t>(fine.rank_box.lo.z + k) + 0.5) * h;
+    const real_t v = f(px, py, pz);
+    GMG_REQUIRE(v > 0, "coefficient must be positive");
+    fine.coef(i, j, k) = v;
+  });
+  for (std::size_t l = 1; l < levels_.size(); ++l) {
+    levels_[l].coef = BrickedArray(levels_[l].grid, levels_[l].shape);
+    restriction(levels_[l].coef, levels_[l - 1].coef);
+  }
+  for (MgLevel& lev : levels_) {
+    lev.varcoef = true;
+    lev.exchange->exchange(comm, lev.coef);
+    lev.diag = BrickedArray(lev.grid, lev.shape);
+    // The CA redundant sweeps read the diagonal in the ghost shell;
+    // compute it everywhere the taps stay within the ghost bricks.
+    varcoef_diagonal(lev.diag, lev.coef, opts_.identity_coef, lev.h,
+                     grow(lev.interior(), lev.shape.bx - 1));
+    lev.margin = 0;  // ghosts of x are unrelated to the new operator
+  }
+}
+
+void GmgSolver::apply_operator(MgLevel& lev, BrickedArray& out,
+                               const BrickedArray& in, const Box& active) {
+  if (lev.varcoef) {
+    apply_op_varcoef(out, in, lev.coef, opts_.identity_coef, lev.h, active);
+  } else if (opts_.use_generated_kernels) {
+    if (lev.radius == 1) {
+      dsl::generated::laplacian_7pt(out, in, lev.alpha, lev.beta, active);
+    } else {
+      dsl::generated::star_13pt(out, in, lev.alpha, lev.beta, lev.beta2,
+                                active);
+    }
+  } else if (lev.radius == 1) {
+    apply_op(out, in, lev.alpha, lev.beta, active);
+  } else {
+    const auto expr = dsl::star_stencil<2, 0>(
+        std::array<real_t, 3>{lev.alpha, lev.beta, lev.beta2});
+    dsl::apply(expr, out, active, in);
+  }
+}
+
+void GmgSolver::exchange_for_smooth(comm::Communicator& comm, MgLevel& lev) {
+  const bool with_p = opts_.smoother == Smoother::kChebyshev &&
+                      lev.p.size() != 0;
+  profiler_.timed(lev.level, perf::Phase::kExchange, [&] {
+    std::vector<BrickedArray*> fields{&lev.x};
+    // Aggregate everything the redundant ghost sweeps will read into
+    // one message round (the paper's message aggregation across
+    // fields).
+    if (opts_.communication_avoiding && !lev.b_ghosts_valid) {
+      fields.push_back(&lev.b);
+      lev.b_ghosts_valid = true;
+    }
+    if (with_p && opts_.communication_avoiding) fields.push_back(&lev.p);
+    lev.exchange->exchange(comm, fields);
+  });
+  lev.margin = lev.shape.bx;
+}
+
+void GmgSolver::smooth_level(comm::Communicator& comm, MgLevel& lev,
+                             int iterations, bool with_residual) {
+  switch (opts_.smoother) {
+    case Smoother::kPointJacobi:
+      jacobi_sweeps(comm, lev, iterations, with_residual, 0.5);
+      break;
+    case Smoother::kWeightedJacobi:
+      jacobi_sweeps(comm, lev, iterations, with_residual,
+                    opts_.jacobi_weight);
+      break;
+    case Smoother::kChebyshev:
+      chebyshev_sweeps(comm, lev, iterations, with_residual);
+      break;
+    case Smoother::kRedBlackGS:
+      gs_sweeps(comm, lev, iterations, with_residual);
+      break;
+  }
+}
+
+void GmgSolver::gs_sweeps(comm::Communicator& comm, MgLevel& lev,
+                          int iterations, bool with_residual) {
+  GMG_REQUIRE(lev.radius == 1 && !lev.varcoef,
+              "red-black Gauss-Seidel supports the constant-coefficient "
+              "7-point operator only");
+  const Box interior = lev.interior();
+  const Vec3 origin = lev.rank_box.lo;
+  for (int it = 0; it < iterations; ++it) {
+    if (opts_.communication_avoiding) {
+      // A full red+black iteration consumes two ghost layers.
+      if (lev.margin < 2 || !lev.b_ghosts_valid)
+        exchange_for_smooth(comm, lev);
+      profiler_.timed(lev.level, perf::Phase::kSmooth, [&] {
+        gs_color_sweep(lev.x, lev.b, lev.alpha, lev.beta, 0, origin,
+                       grow(interior, lev.margin - 1));
+        gs_color_sweep(lev.x, lev.b, lev.alpha, lev.beta, 1, origin,
+                       grow(interior, lev.margin - 2));
+      });
+      lev.margin -= 2;
+    } else {
+      // Without deep ghosts, the black half-sweep needs the red-updated
+      // neighbor values: exchange before each half-sweep.
+      exchange_for_smooth(comm, lev);
+      profiler_.timed(lev.level, perf::Phase::kSmooth, [&] {
+        gs_color_sweep(lev.x, lev.b, lev.alpha, lev.beta, 0, origin,
+                       interior);
+      });
+      exchange_for_smooth(comm, lev);
+      profiler_.timed(lev.level, perf::Phase::kSmooth, [&] {
+        gs_color_sweep(lev.x, lev.b, lev.alpha, lev.beta, 1, origin,
+                       interior);
+      });
+      lev.margin = 0;
+    }
+  }
+  if (with_residual) {
+    // GS updates in place and leaves no fused residual; compute it for
+    // the restriction that follows.
+    if (lev.margin < 1) exchange_for_smooth(comm, lev);
+    profiler_.timed(lev.level, perf::Phase::kApplyOp, [&] {
+      apply_operator(lev, lev.Ax, lev.x, interior);
+    });
+    profiler_.timed(lev.level, perf::Phase::kResidual, [&] {
+      residual(lev.r, lev.b, lev.Ax, interior);
+    });
+  }
+}
+
+void GmgSolver::jacobi_sweeps(comm::Communicator& comm, MgLevel& lev,
+                              int iterations, bool with_residual,
+                              real_t weight) {
+  const Box interior = lev.interior();
+  const real_t gamma = -weight / lev.alpha;
+  const index_t radius = lev.radius;
+  for (int it = 0; it < iterations; ++it) {
+    Box active = interior;
+    if (opts_.communication_avoiding) {
+      // Exchange when the ghost margin is spent — or when b's ghosts
+      // are stale, since the redundant sweep reads b there too.
+      if (lev.margin < radius || !lev.b_ghosts_valid)
+        exchange_for_smooth(comm, lev);
+      active = grow(interior, lev.margin - radius);
+    } else {
+      exchange_for_smooth(comm, lev);
+      lev.margin = 0;
+    }
+    profiler_.timed(lev.level, perf::Phase::kApplyOp,
+                    [&] { apply_operator(lev, lev.Ax, lev.x, active); });
+    if (with_residual) {
+      profiler_.timed(lev.level, perf::Phase::kSmoothResidual, [&] {
+        if (lev.varcoef) {
+          smooth_residual_varcoef(lev.x, lev.r, lev.Ax, lev.b, lev.diag,
+                                  weight, active);
+        } else {
+          smooth_residual(lev.x, lev.r, lev.Ax, lev.b, gamma, active);
+        }
+      });
+    } else {
+      profiler_.timed(lev.level, perf::Phase::kSmooth, [&] {
+        if (lev.varcoef) {
+          smooth_varcoef(lev.x, lev.Ax, lev.b, lev.diag, weight, active);
+        } else {
+          smooth(lev.x, lev.Ax, lev.b, gamma, active);
+        }
+      });
+    }
+    if (opts_.communication_avoiding) lev.margin -= radius;
+  }
+}
+
+void GmgSolver::chebyshev_sweeps(comm::Communicator& comm, MgLevel& lev,
+                                 int iterations, bool with_residual) {
+  (void)with_residual;  // r = b - Ax is produced every sweep anyway
+  const Box interior = lev.interior();
+  const index_t radius = lev.radius;
+  const real_t lambda_max = opts_.cheby_lambda_max;
+  const real_t lambda_min = lambda_max * opts_.cheby_min_frac;
+  const real_t theta = 0.5 * (lambda_max + lambda_min);
+  const real_t delta = 0.5 * (lambda_max - lambda_min);
+  const real_t inv_diag = 1.0 / lev.alpha;
+
+  real_t alpha_ch = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    Box active = interior;
+    if (opts_.communication_avoiding) {
+      if (lev.margin < radius || !lev.b_ghosts_valid)
+        exchange_for_smooth(comm, lev);
+      active = grow(interior, lev.margin - radius);
+    } else {
+      exchange_for_smooth(comm, lev);
+      lev.margin = 0;
+    }
+    profiler_.timed(lev.level, perf::Phase::kApplyOp,
+                    [&] { apply_operator(lev, lev.Ax, lev.x, active); });
+    profiler_.timed(lev.level, perf::Phase::kSmoothResidual, [&] {
+      residual(lev.r, lev.b, lev.Ax, active);
+      // Chebyshev recurrence on the diagonally preconditioned
+      // residual (D^-1 A has spectrum in [lambda_min, lambda_max]).
+      real_t beta_ch;
+      if (it == 0) {
+        beta_ch = 0.0;
+        alpha_ch = 1.0 / theta;
+      } else {
+        beta_ch = 0.25 * (delta * alpha_ch) * (delta * alpha_ch);
+        alpha_ch = 1.0 / (theta - beta_ch / alpha_ch);
+      }
+      if (lev.varcoef) {
+        cheby_p_update_varcoef(lev.p, lev.r, lev.diag, beta_ch, active);
+      } else {
+        cheby_p_update(lev.p, lev.r, inv_diag, beta_ch, active);
+      }
+      axpy(lev.x, alpha_ch, lev.p, active);
+    });
+    if (opts_.communication_avoiding) lev.margin -= radius;
+  }
+}
+
+void GmgSolver::bottom_solve(comm::Communicator& comm) {
+  MgLevel& lev = levels_[static_cast<std::size_t>(bottom_level())];
+  if (opts_.bottom == BottomSolverType::kSmooth) {
+    smooth_level(comm, lev, opts_.bottom_smooths, /*with_residual=*/false);
+  } else {
+    profiler_.timed(lev.level, perf::Phase::kBottomSolve,
+                    [&] { bottom_cg(comm, lev); });
+  }
+}
+
+void GmgSolver::bottom_cg(comm::Communicator& comm, MgLevel& lev) {
+  // Matrix-free conjugate gradient on the coarsest grid. The periodic
+  // operator is singular with a constant null space; the RHS reaching
+  // the bottom is a restricted residual (mean zero), so the Krylov
+  // iteration stays in range(A).
+  const Box interior = lev.interior();
+
+  // r = b - A x (x may be nonzero on the second visit of a W-cycle).
+  if (lev.margin < lev.radius) {
+    lev.exchange->exchange(comm, lev.x);
+    lev.margin = lev.shape.bx;
+  }
+  apply_operator(lev, lev.Ax, lev.x, interior);
+  residual(lev.r, lev.b, lev.Ax, interior);
+  copy_interior(lev.p, lev.r);
+
+  real_t rr = comm.allreduce_sum(dot_interior(lev.r, lev.r));
+  const real_t stop = opts_.bottom_cg_tolerance * opts_.bottom_cg_tolerance;
+  for (int it = 0; it < opts_.bottom_smooths && rr > stop; ++it) {
+    lev.exchange->exchange(comm, lev.p);
+    apply_operator(lev, lev.Ax, lev.p, interior);  // Ax := A p
+    const real_t pAp = comm.allreduce_sum(dot_interior(lev.p, lev.Ax));
+    if (pAp == 0.0) break;
+    const real_t a = rr / pAp;
+    axpy_interior(lev.x, a, lev.p);
+    axpy_interior(lev.r, -a, lev.Ax);
+    const real_t rr_new = comm.allreduce_sum(dot_interior(lev.r, lev.r));
+    xpay_interior(lev.p, lev.r, rr_new / rr);
+    rr = rr_new;
+  }
+  lev.margin = 0;  // x changed; ghosts are stale
+}
+
+void GmgSolver::cycle_at(comm::Communicator& comm, int l) {
+  if (l == bottom_level()) {
+    bottom_solve(comm);
+    return;
+  }
+  MgLevel& lev = levels_[static_cast<std::size_t>(l)];
+  MgLevel& coarse = levels_[static_cast<std::size_t>(l + 1)];
+
+  smooth_level(comm, lev, opts_.smooths, /*with_residual=*/true);
+  profiler_.timed(l, perf::Phase::kRestriction,
+                  [&] { restriction(coarse.b, lev.r); });
+  coarse.b_ghosts_valid = false;
+  profiler_.timed(l + 1, perf::Phase::kInitZero, [&] { init_zero(coarse.x); });
+  coarse.margin = coarse.shape.bx;  // zero ghosts are valid
+
+  cycle_at(comm, l + 1);
+  if (opts_.cycle == CycleType::kW) cycle_at(comm, l + 1);
+
+  profiler_.timed(l, perf::Phase::kInterpIncrement,
+                  [&] { interpolation_increment(lev.x, coarse.x); });
+  lev.margin = 0;  // interior changed; ghosts are stale
+  smooth_level(comm, lev, opts_.smooths, /*with_residual=*/true);
+}
+
+void GmgSolver::vcycle(comm::Communicator& comm) { cycle_at(comm, 0); }
+
+void GmgSolver::fmg(comm::Communicator& comm) {
+  const int bottom = bottom_level();
+  // Restrict the RHS itself down the hierarchy.
+  for (int l = 0; l < bottom; ++l) {
+    MgLevel& lev = levels_[static_cast<std::size_t>(l)];
+    MgLevel& coarse = levels_[static_cast<std::size_t>(l + 1)];
+    profiler_.timed(l, perf::Phase::kRestriction,
+                    [&] { restriction(coarse.b, lev.b); });
+    coarse.b_ghosts_valid = false;
+  }
+  // Solve the coarsest, then work upward: prolong as initial guess,
+  // one cycle per level.
+  MgLevel& coarsest = levels_[static_cast<std::size_t>(bottom)];
+  init_zero(coarsest.x);
+  coarsest.margin = coarsest.shape.bx;
+  bottom_solve(comm);
+  for (int l = bottom - 1; l >= 0; --l) {
+    MgLevel& lev = levels_[static_cast<std::size_t>(l)];
+    MgLevel& coarse = levels_[static_cast<std::size_t>(l + 1)];
+    // FMG needs a higher-order prolongation for its initial guesses;
+    // trilinear reads one coarse ghost layer.
+    if (coarse.margin < 1) {
+      profiler_.timed(l + 1, perf::Phase::kExchange,
+                      [&] { coarse.exchange->exchange(comm, coarse.x); });
+      coarse.margin = coarse.shape.bx;
+    }
+    profiler_.timed(l, perf::Phase::kInterpIncrement,
+                    [&] { interpolation_trilinear_assign(lev.x, coarse.x); });
+    lev.margin = 0;
+    cycle_at(comm, l);
+  }
+}
+
+real_t GmgSolver::residual_norm(comm::Communicator& comm) {
+  MgLevel& fine = levels_.front();
+  if (fine.margin < fine.radius) exchange_for_smooth(comm, fine);
+  profiler_.timed(0, perf::Phase::kApplyOp, [&] {
+    apply_operator(fine, fine.Ax, fine.x, fine.interior());
+  });
+  profiler_.timed(0, perf::Phase::kResidual, [&] {
+    residual(fine.r, fine.b, fine.Ax, fine.interior());
+  });
+  real_t local = 0;
+  profiler_.timed(0, perf::Phase::kMaxNorm,
+                  [&] { local = max_norm(fine.r); });
+  return comm.allreduce_max(local);
+}
+
+real_t GmgSolver::residual_norm_l2(comm::Communicator& comm) {
+  MgLevel& fine = levels_.front();
+  if (fine.margin < fine.radius) exchange_for_smooth(comm, fine);
+  apply_operator(fine, fine.Ax, fine.x, fine.interior());
+  residual(fine.r, fine.b, fine.Ax, fine.interior());
+  const real_t global_sq = comm.allreduce_sum(norm2_sq(fine.r));
+  return std::sqrt(global_sq);
+}
+
+SolveResult GmgSolver::solve(comm::Communicator& comm) {
+  Timer timer;
+  SolveResult result;
+  real_t res = residual_norm(comm);
+  result.history.push_back(res);
+  while (res > opts_.tolerance && result.vcycles < opts_.max_vcycles) {
+    vcycle(comm);
+    res = residual_norm(comm);
+    result.history.push_back(res);
+    ++result.vcycles;
+  }
+  result.final_residual = res;
+  result.converged = res <= opts_.tolerance;
+  result.seconds = timer.elapsed();
+  return result;
+}
+
+}  // namespace gmg

@@ -1,0 +1,16 @@
+#include "mesh/array3d.hpp"
+
+namespace gmg {
+
+void Array3D::fill_ghosts_periodic() {
+  const Box whole_box = whole();
+  for_each(whole_box, [&](index_t i, index_t j, index_t k) {
+    if (interior().contains({i, j, k})) return;
+    const index_t si = ((i % n_.x) + n_.x) % n_.x;
+    const index_t sj = ((j % n_.y) + n_.y) % n_.y;
+    const index_t sk = ((k % n_.z) + n_.z) % n_.z;
+    (*this)(i, j, k) = (*this)(si, sj, sk);
+  });
+}
+
+}  // namespace gmg

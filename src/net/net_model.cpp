@@ -1,0 +1,29 @@
+#include "net/net_model.hpp"
+
+namespace gmg::net {
+
+LinearParams fit_linear_model(const std::vector<double>& bytes,
+                              const std::vector<double>& seconds) {
+  GMG_REQUIRE(bytes.size() == seconds.size(), "sample size mismatch");
+  GMG_REQUIRE(bytes.size() >= 2, "need at least two samples to fit");
+  // Ordinary least squares on t = alpha + x * (1/beta).
+  const auto n = static_cast<double>(bytes.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    sx += bytes[i];
+    sy += seconds[i];
+    sxx += bytes[i] * bytes[i];
+    sxy += bytes[i] * seconds[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  GMG_REQUIRE(denom != 0.0, "degenerate samples (all equal sizes)");
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+  GMG_REQUIRE(slope > 0.0, "fit produced non-positive bandwidth");
+  LinearParams p;
+  p.alpha_s = intercept;
+  p.beta_bytes_s = 1.0 / slope;
+  return p;
+}
+
+}  // namespace gmg::net

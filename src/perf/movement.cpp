@@ -1,0 +1,226 @@
+#include "perf/movement.hpp"
+
+#include "arch/kernel_costs.hpp"
+#include "common/error.hpp"
+
+namespace gmg::perf {
+
+CacheSim::CacheSim(std::uint64_t capacity_bytes, int line_bytes)
+    : capacity_lines_(capacity_bytes / static_cast<std::uint64_t>(line_bytes)),
+      line_bytes_(line_bytes) {
+  GMG_REQUIRE(line_bytes > 0, "line size must be positive");
+  GMG_REQUIRE(capacity_bytes == 0 || capacity_lines_ >= 1,
+              "cache smaller than one line");
+}
+
+void CacheSim::touch(std::uint64_t addr, bool is_write) {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  auto it = map_.find(line);
+  if (it != map_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->dirty |= is_write;
+    return;
+  }
+  // Miss. Reads fill from DRAM; write misses allocate without a fill
+  // ("write-validate"): every store in these kernels covers whole
+  // cache lines, so GPUs stream them out without reading first — the
+  // convention behind the paper's per-kernel byte counts.
+  if (!is_write) ++fills_;
+  if (capacity_lines_ != 0 && lru_.size() >= capacity_lines_) evict_lru();
+  lru_.push_front(Entry{line, is_write});
+  map_[line] = lru_.begin();
+}
+
+void CacheSim::evict_lru() {
+  const Entry& victim = lru_.back();
+  if (victim.dirty) ++evicted_dirty_;
+  map_.erase(victim.line);
+  lru_.pop_back();
+}
+
+void CacheSim::read(std::uint64_t addr) { touch(addr, false); }
+void CacheSim::write(std::uint64_t addr) { touch(addr, true); }
+
+std::uint64_t CacheSim::writebacks() const {
+  std::uint64_t dirty_resident = 0;
+  for (const Entry& e : lru_)
+    if (e.dirty) ++dirty_resident;
+  return evicted_dirty_ + dirty_resident;
+}
+
+std::uint64_t CacheSim::bytes_moved() const {
+  return (fills_ + writebacks()) * static_cast<std::uint64_t>(line_bytes_);
+}
+
+namespace {
+
+/// Address provider: distinct non-overlapping base per field, element
+/// addresses from the real layout mapping.
+class BrickAddrs {
+ public:
+  BrickAddrs(index_t n, index_t bdim)
+      : arr_(BrickedArray::create({n, n, n}, BrickShape::cube(bdim), false)) {}
+
+  std::uint64_t at(int field, index_t i, index_t j, index_t k) const {
+    return static_cast<std::uint64_t>(field) * span() +
+           arr_.element_index(i, j, k) * kRealBytes;
+  }
+  std::uint64_t span() const { return arr_.size() * kRealBytes; }
+  const BrickGrid& grid() const { return arr_.grid(); }
+  BrickShape shape() const { return arr_.shape(); }
+
+ private:
+  BrickedArray arr_;
+};
+
+class ArrayAddrs {
+ public:
+  ArrayAddrs(index_t n, index_t ghost) : arr_({n, n, n}, ghost, false) {}
+
+  std::uint64_t at(int field, index_t i, index_t j, index_t k) const {
+    return static_cast<std::uint64_t>(field) * span() +
+           static_cast<std::uint64_t>(arr_.linear_index(i, j, k)) * kRealBytes;
+  }
+  std::uint64_t span() const { return arr_.size() * kRealBytes; }
+
+ private:
+  Array3D arr_;
+};
+
+/// Visit interior cells in the kernel's iteration order for the given
+/// layout: brick-by-brick rows for bricks, lexicographic for arrays.
+template <typename Fn>
+void visit_cells(Layout layout, index_t n, index_t bdim, Fn&& fn) {
+  if (layout == Layout::kArray) {
+    for_each(Box::from_extent({n, n, n}), fn);
+    return;
+  }
+  const index_t nb = n / bdim;
+  for_each(Box::from_extent({nb, nb, nb}), [&](index_t bx, index_t by,
+                                               index_t bz) {
+    for (index_t lk = 0; lk < bdim; ++lk)
+      for (index_t lj = 0; lj < bdim; ++lj)
+        for (index_t li = 0; li < bdim; ++li)
+          fn(bx * bdim + li, by * bdim + lj, bz * bdim + lk);
+  });
+}
+
+template <typename Addrs>
+void replay(arch::Op op, const Addrs& addrs, Layout layout, index_t n,
+            index_t bdim, CacheSim& cache) {
+  // Field ids: 0 = x, 1 = Ax, 2 = b, 3 = r, 4 = coarse field.
+  switch (op) {
+    case arch::Op::kApplyOp:
+      visit_cells(layout, n, bdim, [&](index_t i, index_t j, index_t k) {
+        cache.read(addrs.at(0, i, j, k));
+        cache.read(addrs.at(0, i + 1, j, k));
+        cache.read(addrs.at(0, i - 1, j, k));
+        cache.read(addrs.at(0, i, j + 1, k));
+        cache.read(addrs.at(0, i, j - 1, k));
+        cache.read(addrs.at(0, i, j, k + 1));
+        cache.read(addrs.at(0, i, j, k - 1));
+        cache.write(addrs.at(1, i, j, k));
+      });
+      break;
+    case arch::Op::kSmooth:
+      visit_cells(layout, n, bdim, [&](index_t i, index_t j, index_t k) {
+        cache.read(addrs.at(1, i, j, k));
+        cache.read(addrs.at(2, i, j, k));
+        cache.read(addrs.at(0, i, j, k));
+        cache.write(addrs.at(0, i, j, k));
+      });
+      break;
+    case arch::Op::kSmoothResidual:
+      visit_cells(layout, n, bdim, [&](index_t i, index_t j, index_t k) {
+        cache.read(addrs.at(1, i, j, k));
+        cache.read(addrs.at(2, i, j, k));
+        cache.write(addrs.at(3, i, j, k));
+        cache.read(addrs.at(0, i, j, k));
+        cache.write(addrs.at(0, i, j, k));
+      });
+      break;
+    default:
+      // Transfer operators are replayed separately (two address
+      // spaces); see measure_movement.
+      GMG_REQUIRE(false, "unhandled op in single-level replay");
+  }
+}
+
+}  // namespace
+
+MovementResult measure_movement(arch::Op op, Layout layout, index_t n,
+                                index_t bdim, std::uint64_t cache_bytes,
+                                int line_bytes) {
+  GMG_REQUIRE(n % 2 == 0, "extent must be even");
+  CacheSim cache(cache_bytes, line_bytes);
+
+  const index_t nc = n / 2;  // coarse extent for transfer operators
+  if (op == arch::Op::kRestriction || op == arch::Op::kInterpIncrement) {
+    // Transfer operators span two levels with their own layouts.
+    const auto run = [&](const auto& fine_addr, const auto& coarse_addr) {
+      if (op == arch::Op::kRestriction) {
+        // Kernel iterates coarse output cells (array) or fine bricks
+        // (bricks); both reduce to: 8 fine reads, 1 coarse write.
+        visit_cells(layout, nc, std::min<index_t>(bdim, nc),
+                    [&](index_t ci, index_t cj, index_t ck) {
+                      for (index_t dz = 0; dz < 2; ++dz)
+                        for (index_t dy = 0; dy < 2; ++dy)
+                          for (index_t dx = 0; dx < 2; ++dx)
+                            cache.read(fine_addr.at(0, 2 * ci + dx,
+                                                    2 * cj + dy, 2 * ck + dz));
+                      cache.write(coarse_addr.at(0, ci, cj, ck));
+                    });
+      } else {
+        visit_cells(layout, n, bdim, [&](index_t i, index_t j, index_t k) {
+          cache.read(coarse_addr.at(0, i / 2, j / 2, k / 2));
+          cache.read(fine_addr.at(0, i, j, k));
+          cache.write(fine_addr.at(0, i, j, k));
+        });
+      }
+    };
+    MovementResult res;
+    if (layout == Layout::kBrick) {
+      BrickAddrs fine(n, bdim), coarse_base(nc, std::min<index_t>(bdim, nc));
+      // Offset the coarse field past the fine field's address range.
+      struct Shifted {
+        const BrickAddrs* a;
+        std::uint64_t off;
+        std::uint64_t at(int f, index_t i, index_t j, index_t k) const {
+          return off + a->at(f, i, j, k);
+        }
+      } coarse{&coarse_base, fine.span()};
+      run(fine, coarse);
+    } else {
+      ArrayAddrs fine(n, 1), coarse_base(nc, 1);
+      struct Shifted {
+        const ArrayAddrs* a;
+        std::uint64_t off;
+        std::uint64_t at(int f, index_t i, index_t j, index_t k) const {
+          return off + a->at(f, i, j, k);
+        }
+      } coarse{&coarse_base, fine.span()};
+      run(fine, coarse);
+    }
+    res.bytes = cache.bytes_moved();
+    res.points = static_cast<double>(
+        op == arch::Op::kRestriction ? nc * nc * nc : n * n * n);
+    res.flops = arch::flops_per_point(op) * res.points;
+    return res;
+  }
+
+  if (layout == Layout::kBrick) {
+    BrickAddrs addrs(n, bdim);
+    replay(op, addrs, layout, n, bdim, cache);
+  } else {
+    ArrayAddrs addrs(n, 1);
+    replay(op, addrs, layout, n, bdim, cache);
+  }
+  MovementResult res;
+  res.bytes = cache.bytes_moved();
+  res.points = static_cast<double>(n * n * n);
+  res.flops = arch::flops_per_point(op) * res.points;
+  return res;
+}
+
+}  // namespace gmg::perf

@@ -1,0 +1,76 @@
+// Data-movement measurement by address-trace cache simulation — the
+// reproduction's stand-in for the vendor profilers' DRAM-traffic
+// counters (Nsight / rocprof / Advisor in the paper §VII).
+//
+// Each V-cycle kernel's access pattern is replayed, in the kernel's
+// real iteration order and through the real storage layout (bricked or
+// conventional), against an LRU cache model at cache-line granularity.
+//   * capacity 0 (infinite cache) measures compulsory traffic — the
+//     denominator of the paper's theoretical AI (Table IV);
+//   * a finite capacity measures actual traffic on a given
+//     architecture — the numerator of the fraction-of-theoretical-AI
+//     portability metric (Table V).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "arch/arch_spec.hpp"
+#include "brick/bricked_array.hpp"
+#include "mesh/array3d.hpp"
+
+namespace gmg::perf {
+
+/// Set-less (fully associative) LRU cache model with write-back,
+/// write-allocate semantics. capacity_bytes == 0 means infinite.
+class CacheSim {
+ public:
+  CacheSim(std::uint64_t capacity_bytes, int line_bytes);
+
+  void read(std::uint64_t addr);
+  void write(std::uint64_t addr);
+
+  /// DRAM traffic: line fills plus dirty write-backs (including the
+  /// final flush of resident dirty lines).
+  std::uint64_t bytes_moved() const;
+  std::uint64_t fills() const { return fills_; }
+  std::uint64_t writebacks() const;
+
+ private:
+  struct Entry {
+    std::uint64_t line;
+    bool dirty;
+  };
+  void touch(std::uint64_t addr, bool is_write);
+  void evict_lru();
+
+  std::uint64_t capacity_lines_;
+  int line_bytes_;
+  std::uint64_t fills_ = 0;
+  std::uint64_t evicted_dirty_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+};
+
+/// Which storage layout to replay.
+enum class Layout { kBrick, kArray };
+
+struct MovementResult {
+  std::uint64_t bytes = 0;  // simulated DRAM traffic
+  double flops = 0;         // from the Table IV accounting
+  double points = 0;        // kernel points processed
+  double ai() const { return flops / static_cast<double>(bytes); }
+  double bytes_per_point() const {
+    return static_cast<double>(bytes) / points;
+  }
+};
+
+/// Replay one kernel over a cubic subdomain of extent n (brick shape
+/// `bdim` for the brick layout). cache_bytes == 0 simulates an
+/// infinite cache (compulsory traffic).
+MovementResult measure_movement(arch::Op op, Layout layout, index_t n,
+                                index_t bdim, std::uint64_t cache_bytes,
+                                int line_bytes);
+
+}  // namespace gmg::perf

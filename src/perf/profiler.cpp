@@ -1,0 +1,84 @@
+#include "perf/profiler.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gmg::perf {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kExchange:
+      return "exchange";
+    case Phase::kApplyOp:
+      return "applyOp";
+    case Phase::kSmooth:
+      return "smooth";
+    case Phase::kSmoothResidual:
+      return "smooth+residual";
+    case Phase::kResidual:
+      return "residual";
+    case Phase::kRestriction:
+      return "restriction";
+    case Phase::kInterpIncrement:
+      return "interpolation+increment";
+    case Phase::kInitZero:
+      return "initZero";
+    case Phase::kMaxNorm:
+      return "maxNorm";
+    case Phase::kBottomSolve:
+      return "bottomSolve";
+    default:
+      return "?";
+  }
+}
+
+const RunningStats& Profiler::stats(int level, Phase phase) const {
+  auto it = stats_.find({level, phase});
+  GMG_REQUIRE(it != stats_.end(), "no samples for this (level, phase)");
+  return it->second;
+}
+
+double Profiler::total(int level, Phase phase) const {
+  auto it = stats_.find({level, phase});
+  return it == stats_.end() ? 0.0 : it->second.sum();
+}
+
+double Profiler::level_total(int level) const {
+  double t = 0.0;
+  for (const auto& [key, s] : stats_)
+    if (key.first == level) t += s.sum();
+  return t;
+}
+
+double Profiler::grand_total() const {
+  double t = 0.0;
+  for (const auto& [key, s] : stats_) t += s.sum();
+  return t;
+}
+
+int Profiler::max_level() const {
+  int m = -1;
+  for (const auto& [key, s] : stats_) m = std::max(m, key.first);
+  return m;
+}
+
+std::map<Phase, double> Profiler::level_breakdown(int level) const {
+  const double total_s = level_total(level);
+  std::map<Phase, double> out;
+  if (total_s <= 0.0) return out;
+  for (const auto& [key, s] : stats_)
+    if (key.first == level) out[key.second] = s.sum() / total_s;
+  return out;
+}
+
+std::string Profiler::report() const {
+  std::ostringstream os;
+  for (const auto& [key, s] : stats_) {
+    os << "level " << key.first << ' ' << phase_name(key.second) << ' '
+       << s.summary() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gmg::perf

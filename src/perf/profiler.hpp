@@ -1,0 +1,71 @@
+// Per-(level, operation) timing instrumentation, reported in the
+// artifact's output format:
+//   level 0 applyOp [0.265012, 0.265184, 0.265346] (σ: 9.2e-05)
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+
+namespace gmg::perf {
+
+/// Everything the V-cycle spends time on, including communication.
+enum class Phase : int {
+  kExchange = 0,
+  kApplyOp,
+  kSmooth,
+  kSmoothResidual,
+  kResidual,
+  kRestriction,
+  kInterpIncrement,
+  kInitZero,
+  kMaxNorm,
+  kBottomSolve,
+  kCount
+};
+
+const char* phase_name(Phase p);
+
+class Profiler {
+ public:
+  void record(int level, Phase phase, double seconds) {
+    stats_[{level, phase}].add(seconds);
+  }
+
+  /// Time one callable and record it.
+  template <typename Fn>
+  void timed(int level, Phase phase, Fn&& fn) {
+    Timer t;
+    fn();
+    record(level, phase, t.elapsed());
+  }
+
+  const RunningStats& stats(int level, Phase phase) const;
+  bool has(int level, Phase phase) const {
+    return stats_.count({level, phase}) != 0;
+  }
+
+  /// Total accumulated seconds for one phase at one level.
+  double total(int level, Phase phase) const;
+  /// Total accumulated seconds across all phases at one level.
+  double level_total(int level) const;
+  /// Grand total.
+  double grand_total() const;
+  int max_level() const;
+
+  /// Fraction of one level's time spent in each phase (Table II).
+  std::map<Phase, double> level_breakdown(int level) const;
+
+  /// Artifact-format report, one line per (level, phase).
+  std::string report() const;
+
+  void clear() { stats_.clear(); }
+
+ private:
+  std::map<std::pair<int, Phase>, RunningStats> stats_;
+};
+
+}  // namespace gmg::perf

@@ -1,0 +1,35 @@
+#include "perf/rank_report.hpp"
+
+#include <sstream>
+
+namespace gmg::perf {
+
+RunningStats cross_rank_stats(comm::Communicator& comm,
+                              const Profiler& profiler, int level,
+                              Phase phase) {
+  const double mine = profiler.total(level, phase);
+  RunningStats stats;
+  for (double v : comm.allgather(mine)) stats.add(v);
+  return stats;
+}
+
+std::string cross_rank_report(comm::Communicator& comm,
+                              const Profiler& profiler) {
+  std::ostringstream os;
+  const int max_level = profiler.max_level();
+  for (int level = 0; level <= max_level; ++level) {
+    for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+      const Phase phase = static_cast<Phase>(p);
+      // The key set is schedule-determined and identical on every
+      // rank, so this has()-check keeps the collective aligned.
+      if (!profiler.has(level, phase)) continue;
+      const RunningStats stats = cross_rank_stats(comm, profiler, level,
+                                                  phase);
+      os << "level " << level << ' ' << phase_name(phase) << ' '
+         << stats.summary() << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace gmg::perf

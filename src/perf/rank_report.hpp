@@ -1,0 +1,26 @@
+// Cross-rank profile reduction: the paper artifact reports, for every
+// (level, operation), the [min, avg, max] and sigma of the accumulated
+// time ACROSS RANKS, e.g.
+//   level 0 applyOp [0.265012, 0.265184, 0.265346] (σ: 9.2e-05)
+#pragma once
+
+#include <string>
+
+#include "comm/simmpi.hpp"
+#include "perf/profiler.hpp"
+
+namespace gmg::perf {
+
+/// Collective: every rank contributes its per-(level, phase) totals
+/// (all ranks must hold the same key set — true for the solver's bulk-
+/// synchronous schedule). Returns the artifact-format report on every
+/// rank.
+std::string cross_rank_report(comm::Communicator& comm,
+                              const Profiler& profiler);
+
+/// Collective: cross-rank stats of one phase total at one level.
+RunningStats cross_rank_stats(comm::Communicator& comm,
+                              const Profiler& profiler, int level,
+                              Phase phase);
+
+}  // namespace gmg::perf

@@ -1,0 +1,169 @@
+#include "perf/vcycle_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gmg::perf {
+
+std::uint64_t cell_exchange_bytes(Vec3 cells, index_t ghost_depth) {
+  const std::uint64_t ext = static_cast<std::uint64_t>(cells.x + 2 * ghost_depth) *
+                            static_cast<std::uint64_t>(cells.y + 2 * ghost_depth) *
+                            static_cast<std::uint64_t>(cells.z + 2 * ghost_depth);
+  return (ext - static_cast<std::uint64_t>(cells.volume())) * kRealBytes;
+}
+
+std::uint64_t brick_exchange_bytes(Vec3 cells, index_t brick_dim) {
+  const Vec3 nb{cells.x / brick_dim, cells.y / brick_dim,
+                cells.z / brick_dim};
+  const std::uint64_t ext = static_cast<std::uint64_t>(nb.x + 2) *
+                            static_cast<std::uint64_t>(nb.y + 2) *
+                            static_cast<std::uint64_t>(nb.z + 2);
+  const std::uint64_t interior = static_cast<std::uint64_t>(nb.volume());
+  const std::uint64_t brick_vol =
+      static_cast<std::uint64_t>(brick_dim * brick_dim * brick_dim);
+  return (ext - interior) * brick_vol * kRealBytes;
+}
+
+namespace {
+
+using arch::Op;
+
+double active_volume(Vec3 cells, index_t margin) {
+  return static_cast<double>((cells.x + 2 * margin) * (cells.y + 2 * margin) *
+                             (cells.z + 2 * margin));
+}
+
+/// Price one smoothing loop (Algorithm 2 inner loop) at one level.
+void price_smooth_loop(const arch::DeviceModel& dev,
+                       const net::NetworkModel& net,
+                       const VcycleModelInput& in, Vec3 cells,
+                       int iterations, bool with_residual, LevelCost& out) {
+  const double interior = static_cast<double>(cells.volume());
+  const std::uint64_t xbytes =
+      in.ghost_depth > 0 ? cell_exchange_bytes(cells, in.ghost_depth)
+                         : brick_exchange_bytes(cells, in.brick_dim);
+  out.exchange_bytes = xbytes;
+
+  const auto exchange_once = [&] {
+    ++out.exchange_count;
+    if (in.remote_neighbors > 0) {
+      out.exchange_s += net.exchange_time(static_cast<double>(xbytes),
+                                          in.remote_neighbors, in.nodes);
+    } else {
+      // Periodic self-copies: a device-side memcpy of the shell.
+      out.exchange_s += dev.spec().launch_overhead_us * 1e-6 +
+                        static_cast<double>(xbytes) /
+                            (dev.spec().hbm_measured_gbs * 1e9);
+    }
+    if (!in.pack_free) {
+      // Pack + unpack kernels: two launches and the message volume
+      // through HBM twice.
+      out.exchange_s += 2.0 * (dev.spec().launch_overhead_us * 1e-6 +
+                               static_cast<double>(xbytes) /
+                                   (dev.spec().hbm_measured_gbs * 1e9));
+    }
+  };
+
+  const auto smooth_kernels = [&](double pts, bool with_res) {
+    if (!with_res) {
+      out.smooth_s += dev.kernel_time(Op::kSmooth, pts);
+    } else if (in.fused_smooth_residual) {
+      out.smooth_residual_s += dev.kernel_time(Op::kSmoothResidual, pts);
+    } else {
+      // Separate smooth then residual kernels (24 B/pt each).
+      out.smooth_s += dev.kernel_time(Op::kSmooth, pts);
+      out.residual_s += dev.kernel_time(Op::kSmooth, pts);
+    }
+  };
+
+  if (in.communication_avoiding) {
+    index_t margin = 0;
+    for (int it = 0; it < iterations; ++it) {
+      if (margin < 1) {
+        exchange_once();
+        margin = in.brick_dim;
+      }
+      const double pts = active_volume(cells, margin - 1);
+      out.applyop_s += dev.kernel_time(Op::kApplyOp, pts);
+      smooth_kernels(pts, with_residual);
+      --margin;
+    }
+  } else {
+    for (int it = 0; it < iterations; ++it) {
+      exchange_once();
+      out.applyop_s += dev.kernel_time(Op::kApplyOp, interior);
+      smooth_kernels(interior, with_residual);
+    }
+  }
+}
+
+}  // namespace
+
+VcycleCost model_vcycle(const arch::DeviceModel& dev,
+                        const net::NetworkModel& net,
+                        const VcycleModelInput& in) {
+  GMG_REQUIRE(in.levels >= 1, "need at least one level");
+  VcycleCost cost;
+  cost.levels.resize(static_cast<std::size_t>(in.levels));
+  const int bottom = in.levels - 1;
+
+  for (int l = 0; l < in.levels; ++l) {
+    const index_t scale = index_t{1} << l;
+    cost.levels[static_cast<std::size_t>(l)].cells = {
+        in.subdomain.x / scale, in.subdomain.y / scale, in.subdomain.z / scale};
+  }
+
+  // Downsweep + upsweep smoothing loops, transfers.
+  for (int l = 0; l < bottom; ++l) {
+    LevelCost& lc = cost.levels[static_cast<std::size_t>(l)];
+    const double cells = static_cast<double>(lc.cells.volume());
+    // Two smoothing loops per V-cycle (down and up).
+    price_smooth_loop(dev, net, in, lc.cells, in.smooths, true, lc);
+    price_smooth_loop(dev, net, in, lc.cells, in.smooths, true, lc);
+    lc.restriction_s += dev.kernel_time(Op::kRestriction, cells / 8.0);
+    lc.interp_s += dev.kernel_time(Op::kInterpIncrement, cells);
+    cost.useful_stencils +=
+        2.0 * in.smooths * 2.0 * cells + cells / 8.0 + cells;
+  }
+  {
+    LevelCost& lb = cost.levels[static_cast<std::size_t>(bottom)];
+    price_smooth_loop(dev, net, in, lb.cells, in.bottom_smooths, false, lb);
+    cost.useful_stencils +=
+        2.0 * in.bottom_smooths * static_cast<double>(lb.cells.volume());
+  }
+
+  // Convergence check at the finest level: exchange, applyOp,
+  // residual (24 B/pt at the smooth kernel's efficiency), maxNorm
+  // (8 B/pt), and a latency-bound allreduce tree.
+  if (in.include_norm_check) {
+    LevelCost& l0 = cost.levels.front();
+    const double cells = static_cast<double>(l0.cells.volume());
+    ++l0.exchange_count;
+    if (in.remote_neighbors > 0) {
+      const std::uint64_t xb =
+          in.ghost_depth > 0
+              ? cell_exchange_bytes(l0.cells, in.ghost_depth)
+              : brick_exchange_bytes(l0.cells, in.brick_dim);
+      l0.exchange_s += net.exchange_time(static_cast<double>(xb),
+                                         in.remote_neighbors, in.nodes);
+    }
+    l0.applyop_s += dev.kernel_time(Op::kApplyOp, cells);
+    l0.residual_s += dev.kernel_time(Op::kSmooth, cells);  // 24 B/pt
+    l0.residual_s += dev.spec().launch_overhead_us * 1e-6 +
+                     cells * kRealBytes /
+                         (dev.achieved_bandwidth(Op::kSmooth));  // maxNorm
+    cost.useful_stencils += 2.0 * cells;
+    const int hops =
+        in.total_ranks > 1
+            ? static_cast<int>(std::ceil(std::log2(in.total_ranks)))
+            : 0;
+    cost.collective_s = hops * dev.spec().nic_latency_us * 1e-6;
+  }
+
+  for (const LevelCost& lc : cost.levels) cost.total_s += lc.total_s();
+  cost.total_s += cost.collective_s;
+  return cost;
+}
+
+}  // namespace gmg::perf

@@ -1,0 +1,92 @@
+// Analytic V-cycle cost model: combines the device kernel-time model
+// and the Slingshot network model over the exact operation schedule of
+// Algorithm 2 (including the communication-avoiding exchange cadence
+// and the redundant ghost computation CA introduces).
+//
+// This is the engine behind the paper-scale figures: per-level times
+// (Fig. 3), the finest-level breakdown (Table II), and — together with
+// a collective term — weak and strong scaling (Figs. 8 and 9). The
+// same schedule runs for real through GmgSolver; the model simply
+// prices it for a GPU+network this host does not have (DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "arch/device_model.hpp"
+#include "common/types.hpp"
+#include "net/net_model.hpp"
+
+namespace gmg::perf {
+
+struct VcycleModelInput {
+  Vec3 subdomain{512, 512, 512};  // cells per rank at the finest level
+  int levels = 6;
+  int smooths = 12;
+  int bottom_smooths = 100;
+  index_t brick_dim = 8;
+  bool communication_avoiding = true;
+  /// Remote neighbors per exchange (26 for a 3-D decomposition with
+  /// more than one rank per axis; 0 models a single isolated rank).
+  int remote_neighbors = 26;
+  /// Include the per-V-cycle convergence check (exchange + applyOp +
+  /// residual at the finest level + allreduce).
+  bool include_norm_check = true;
+  int total_ranks = 8;  // for the allreduce tree depth
+  int nodes = 8;        // for fabric congestion at scale
+  /// When nonzero, exchanges carry a conventional ghost shell of this
+  /// cell depth instead of whole-brick ghosts — used to price the
+  /// HPGMG-style comparator (depth 1, exchange every smooth).
+  index_t ghost_depth = 0;
+  /// The bricked GMG fuses smooth and residual into one kernel; the
+  /// conventional comparator runs them separately (extra kernel and
+  /// extra traffic per iteration).
+  bool fused_smooth_residual = true;
+  /// Communication-ordered brick storage sends straight from field
+  /// memory; the conventional comparator stages each exchange through
+  /// pack and unpack kernels (two launches plus 2x the message volume
+  /// through HBM).
+  bool pack_free = true;
+};
+
+struct LevelCost {
+  Vec3 cells;
+  double applyop_s = 0;
+  double smooth_s = 0;          // bottom-level plain smooth
+  double smooth_residual_s = 0;
+  double residual_s = 0;
+  double restriction_s = 0;
+  double interp_s = 0;
+  double exchange_s = 0;
+  int exchange_count = 0;
+  std::uint64_t exchange_bytes = 0;  // per single exchange
+
+  double compute_s() const {
+    return applyop_s + smooth_s + smooth_residual_s + residual_s +
+           restriction_s + interp_s;
+  }
+  double total_s() const { return compute_s() + exchange_s; }
+};
+
+struct VcycleCost {
+  std::vector<LevelCost> levels;
+  double collective_s = 0;  // allreduce for the norm check
+  double total_s = 0;
+  /// Useful stencil applications (interior points of applyOp +
+  /// smooth(+residual) + restriction + interpolation), excluding CA
+  /// redundant ghost work — the paper's GStencil/s numerator.
+  double useful_stencils = 0;
+};
+
+/// Price one V-cycle of Algorithm 2 on the given device and network.
+VcycleCost model_vcycle(const arch::DeviceModel& dev,
+                        const net::NetworkModel& net,
+                        const VcycleModelInput& in);
+
+/// Ghost-shell payload of one brick exchange at a level: the full
+/// one-brick-deep shell around `cells`, in bytes.
+std::uint64_t brick_exchange_bytes(Vec3 cells, index_t brick_dim);
+
+/// Ghost-shell payload of a conventional depth-g cell exchange.
+std::uint64_t cell_exchange_bytes(Vec3 cells, index_t ghost_depth);
+
+}  // namespace gmg::perf

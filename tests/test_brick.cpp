@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "brick/brick_grid.hpp"
+#include "brick/bricked_array.hpp"
+#include "common/rng.hpp"
+#include "tests/test_util.hpp"
+
+namespace gmg {
+namespace {
+
+TEST(FloorDivMod, NegativeCoordinates) {
+  EXPECT_EQ(floor_div(-1, 8), -1);
+  EXPECT_EQ(floor_div(-8, 8), -1);
+  EXPECT_EQ(floor_div(-9, 8), -2);
+  EXPECT_EQ(floor_div(7, 8), 0);
+  EXPECT_EQ(floor_div(8, 8), 1);
+  EXPECT_EQ(floor_mod(-1, 8), 7);
+  EXPECT_EQ(floor_mod(-8, 8), 0);
+  EXPECT_EQ(floor_mod(9, 8), 1);
+}
+
+TEST(BrickGrid, CountsAndOrdering) {
+  const BrickGrid g({2, 3, 4});
+  EXPECT_EQ(g.num_interior(), 24);
+  // extended grid 4x5x6 = 120 bricks total
+  EXPECT_EQ(g.num_bricks(), 120);
+  // Interior bricks come first, lexicographically.
+  EXPECT_EQ(g.storage_id({0, 0, 0}), 0);
+  EXPECT_EQ(g.storage_id({1, 0, 0}), 1);
+  EXPECT_EQ(g.storage_id({0, 1, 0}), 2);
+  EXPECT_EQ(g.storage_id({1, 2, 3}), 23);
+  // {2,0,0} is a ghost brick: valid id, after all interior bricks.
+  EXPECT_GE(g.storage_id({2, 0, 0}), g.num_interior());
+  // Outside the extended grid.
+  EXPECT_EQ(g.storage_id({3, 0, 0}), -1);
+  EXPECT_EQ(g.storage_id({-2, 0, 0}), -1);
+}
+
+TEST(BrickGrid, CoordIdRoundTrip) {
+  const BrickGrid g({3, 3, 3});
+  for (std::int32_t id = 0; id < g.num_bricks(); ++id) {
+    EXPECT_EQ(g.storage_id(g.coord_of(id)), id);
+  }
+}
+
+TEST(BrickGrid, GhostGroupsAreContiguousAndDisjoint) {
+  const BrickGrid g({2, 2, 2});
+  std::set<std::int32_t> seen;
+  index_t total = 0;
+  for (int dir = 0; dir < kNumDirections; ++dir) {
+    if (dir == kSelfDirection) continue;
+    const BrickRange r = g.ghost_range(dir);
+    EXPECT_EQ(r.count, g.ghost_box(dir).volume());
+    for (std::int32_t b = r.first; b < r.first + r.count; ++b) {
+      EXPECT_TRUE(seen.insert(b).second) << "ghost brick in two groups";
+      // Every ghost brick lies outside the interior box.
+      EXPECT_FALSE(g.interior_box().contains(g.coord_of(b)));
+    }
+    total += r.count;
+  }
+  EXPECT_EQ(total, g.num_bricks() - g.num_interior());
+}
+
+TEST(BrickGrid, AdjacencyMatchesCoordinates) {
+  const BrickGrid g({3, 2, 2});
+  for (std::int32_t id = 0; id < g.num_bricks(); ++id) {
+    const Vec3 c = g.coord_of(id);
+    for (int dir = 0; dir < kNumDirections; ++dir) {
+      const Vec3 n = c + direction_offset(dir);
+      EXPECT_EQ(g.adjacent(id, dir), g.storage_id(n));
+    }
+    EXPECT_EQ(g.adjacent(id, kSelfDirection), id);
+  }
+}
+
+TEST(BrickGrid, SegmentsCoverRegionInOrder) {
+  const BrickGrid g({4, 4, 4});
+  // A full interior x-layer is strided in storage: one run per row.
+  const Box face{{3, 0, 0}, {4, 4, 4}};
+  const auto runs = g.segments_of(face);
+  index_t total = 0;
+  for (const auto& r : runs) total += r.count;
+  EXPECT_EQ(total, face.volume());
+  // The whole interior is exactly one run.
+  const auto all = g.segments_of(g.interior_box());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].first, 0);
+  EXPECT_EQ(all[0].count, g.num_interior());
+  // A ghost face region is exactly one run (the layout property that
+  // makes receives packing-free).
+  for (int dir = 0; dir < kNumDirections; ++dir) {
+    if (dir == kSelfDirection) continue;
+    const auto ghost_runs = g.segments_of(g.ghost_box(dir));
+    ASSERT_EQ(ghost_runs.size(), 1u);
+    EXPECT_EQ(ghost_runs[0].first, g.ghost_range(dir).first);
+    EXPECT_EQ(ghost_runs[0].count, g.ghost_range(dir).count);
+  }
+}
+
+class BrickedArrayTest : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(BrickedArrayTest, RoundTripThroughArray) {
+  const index_t bdim = GetParam();
+  const Vec3 n{2 * bdim, bdim, 3 * bdim};
+  Array3D a(n, 1);
+  test::randomize(a);
+  BrickedArray b = test::to_bricks(a, BrickShape::cube(bdim));
+  test::expect_equal(b, a);
+  Array3D back(n, 1);
+  b.copy_to(back);
+  test::expect_equal(back, a);
+}
+
+TEST_P(BrickedArrayTest, ElementIndexBijection) {
+  const index_t bdim = GetParam();
+  const Vec3 n{bdim * 2, bdim * 2, bdim};
+  BrickedArray b = BrickedArray::create(n, BrickShape::cube(bdim));
+  std::set<std::size_t> seen;
+  const Box whole = grow(Box::from_extent(n), bdim);
+  for_each(whole, [&](index_t i, index_t j, index_t k) {
+    const std::size_t idx = b.element_index(i, j, k);
+    ASSERT_LT(idx, b.size());
+    EXPECT_TRUE(seen.insert(idx).second)
+        << "two cells map to one storage slot";
+  });
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(whole.volume()));
+}
+
+TEST_P(BrickedArrayTest, PeriodicGhostFill) {
+  const index_t bdim = GetParam();
+  const Vec3 n{bdim * 2, bdim * 2, bdim * 2};
+  Array3D a(n, static_cast<index_t>(bdim));
+  test::randomize(a, 3);
+  BrickedArray b = test::to_bricks(a, BrickShape::cube(bdim));
+  b.fill_ghosts_periodic();
+  const Box whole = grow(Box::from_extent(n), bdim);
+  int failures = 0;
+  for_each(whole, [&](index_t i, index_t j, index_t k) {
+    const index_t si = ((i % n.x) + n.x) % n.x;
+    const index_t sj = ((j % n.y) + n.y) % n.y;
+    const index_t sk = ((k % n.z) + n.z) % n.z;
+    if (b(i, j, k) != a(si, sj, sk) && failures < 5) {
+      ADD_FAILURE() << "ghost mismatch at (" << i << ',' << j << ',' << k
+                    << ')';
+      ++failures;
+    }
+  });
+  ASSERT_EQ(failures, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BrickDims, BrickedArrayTest,
+                         ::testing::Values<index_t>(2, 4, 8));
+
+TEST(BrickedArray, RejectsNonDivisibleExtent) {
+  EXPECT_THROW(BrickedArray::create({10, 8, 8}, BrickShape::cube(8)), Error);
+}
+
+TEST(BrickedArray, StorageIsBrickContiguous) {
+  // Consecutive cells of one brick row are consecutive in storage —
+  // the fine-grain blocking property.
+  BrickedArray b = BrickedArray::create({16, 16, 16}, BrickShape::cube(8));
+  const std::size_t base = b.element_index(0, 3, 5);
+  for (index_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(b.element_index(i, 3, 5), base + static_cast<std::size_t>(i));
+  }
+  // ...and a whole brick spans exactly volume() consecutive slots.
+  const std::size_t first = b.element_index(8, 8, 8);
+  EXPECT_EQ(b.element_index(15, 15, 15), first + 511);
+}
+
+}  // namespace
+}  // namespace gmg

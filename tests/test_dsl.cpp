@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "dsl/apply_array.hpp"
+#include "dsl/apply_brick.hpp"
+#include "dsl/stencils.hpp"
+#include "tests/test_util.hpp"
+
+namespace gmg {
+namespace {
+
+using dsl::Coef;
+using dsl::Grid;
+using dsl::i;
+using dsl::j;
+using dsl::k;
+
+TEST(DslExpr, ExtentsOfSevenPoint) {
+  const auto expr = dsl::laplacian_7pt<0>(-6.0, 1.0);
+  const dsl::Extents e = expr.extents();
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(e.lo[d], -1);
+    EXPECT_EQ(e.hi[d], 1);
+  }
+  EXPECT_EQ(e.radius(), 1);
+}
+
+TEST(DslExpr, ExtentsOfAsymmetricStencil) {
+  Grid<0> x;
+  const auto expr = Coef(1.0) * x(i + 3, j, k) - x(i, j - 2, k + 1);
+  const dsl::Extents e = expr.extents();
+  EXPECT_EQ(e.hi[0], 3);
+  EXPECT_EQ(e.lo[0], 0);
+  EXPECT_EQ(e.lo[1], -2);
+  EXPECT_EQ(e.hi[2], 1);
+  EXPECT_EQ(e.radius(), 3);
+}
+
+TEST(DslArray, SevenPointMatchesManualLoop) {
+  const Vec3 n{12, 10, 8};
+  Array3D x(n, 1), out(n, 1);
+  test::randomize(x);
+  x.fill_ghosts_periodic();
+  const real_t alpha = -6.0, beta = 1.0;
+  dsl::apply(dsl::laplacian_7pt<0>(alpha, beta), out, x.interior(), x);
+  int failures = 0;
+  for_each(x.interior(), [&](index_t a, index_t b, index_t c) {
+    const real_t want =
+        alpha * x(a, b, c) +
+        beta * (x(a + 1, b, c) + x(a - 1, b, c) + x(a, b + 1, c) +
+                x(a, b - 1, c) + x(a, b, c + 1) + x(a, b, c - 1));
+    if (std::abs(out(a, b, c) - want) > 1e-14 && failures++ < 5) {
+      ADD_FAILURE() << "at (" << a << ',' << b << ',' << c << ")";
+    }
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST(DslArray, MultiGridExpression) {
+  // out = 2*u + v(i+1) - 0.5 — exercises several slots and a literal.
+  const Vec3 n{8, 8, 8};
+  Array3D u(n, 1), v(n, 1), out(n, 1);
+  test::randomize(u, 1);
+  test::randomize(v, 2);
+  u.fill_ghosts_periodic();
+  v.fill_ghosts_periodic();
+  Grid<0> gu;
+  Grid<1> gv;
+  const auto expr = 2.0 * gu(i, j, k) + gv(i + 1, j, k) - Coef(0.5);
+  dsl::apply(expr, out, u.interior(), u, v);
+  for_each(u.interior(), [&](index_t a, index_t b, index_t c) {
+    ASSERT_NEAR(out(a, b, c), 2.0 * u(a, b, c) + v(a + 1, b, c) - 0.5, 1e-14);
+  });
+}
+
+class DslBrickVsArray : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(DslBrickVsArray, SevenPointEquality) {
+  const index_t bdim = GetParam();
+  const Vec3 n{2 * bdim, 2 * bdim, 2 * bdim};
+  Array3D xa(n, 1), outa(n, 1);
+  test::randomize(xa, 11);
+  xa.fill_ghosts_periodic();
+
+  BrickedArray xb = test::to_bricks(xa, BrickShape::cube(bdim));
+  xb.fill_ghosts_periodic();
+  BrickedArray outb(xb.grid_ptr(), xb.shape());
+
+  const auto expr = dsl::laplacian_7pt<0>(-6.0, 1.0);
+  dsl::apply(expr, outa, xa.interior(), xa);
+  dsl::apply(expr, outb, Box::from_extent(n), xb);
+  test::expect_equal(outb, outa, 1e-12);
+}
+
+TEST_P(DslBrickVsArray, RadiusTwoStarEquality) {
+  const index_t bdim = GetParam();
+  if (bdim < 2) GTEST_SKIP();
+  const Vec3 n{2 * bdim, 2 * bdim, 2 * bdim};
+  Array3D xa(n, 2), outa(n, 2);
+  test::randomize(xa, 13);
+  xa.fill_ghosts_periodic();
+
+  BrickedArray xb = test::to_bricks(xa, BrickShape::cube(bdim));
+  xb.fill_ghosts_periodic();
+  BrickedArray outb(xb.grid_ptr(), xb.shape());
+
+  const auto expr =
+      dsl::star_stencil<2, 0>(std::array<real_t, 3>{-2.5, 1.0, 0.25});
+  dsl::apply(expr, outa, xa.interior(), xa);
+  dsl::apply(expr, outb, Box::from_extent(n), xb);
+  test::expect_equal(outb, outa, 1e-12);
+}
+
+TEST_P(DslBrickVsArray, ApplyOnExtendedRegion) {
+  // Computing into the ghost shell (the CA active region) must agree
+  // with the array version computed on the periodically wrapped data.
+  const index_t bdim = GetParam();
+  const Vec3 n{2 * bdim, 2 * bdim, 2 * bdim};
+  Array3D xa(n, static_cast<index_t>(bdim));
+  test::randomize(xa, 17);
+  xa.fill_ghosts_periodic();
+  Array3D outa(n, static_cast<index_t>(bdim));
+  const Box active = grow(Box::from_extent(n), bdim - 1);
+  const auto expr = dsl::laplacian_7pt<0>(-6.0, 1.0);
+  dsl::apply(expr, outa, active, xa);
+
+  BrickedArray xb = test::to_bricks(xa, BrickShape::cube(bdim));
+  xb.fill_ghosts_periodic();
+  BrickedArray outb(xb.grid_ptr(), xb.shape());
+  dsl::apply(expr, outb, active, xb);
+
+  int failures = 0;
+  for_each(active, [&](index_t a, index_t b, index_t c) {
+    if (std::abs(outb(a, b, c) - outa(a, b, c)) > 1e-12 && failures++ < 5) {
+      ADD_FAILURE() << "at (" << a << ',' << b << ',' << c << ")";
+    }
+  });
+  EXPECT_EQ(failures, 0);
+}
+
+TEST_P(DslBrickVsArray, IncrementVariant) {
+  const index_t bdim = GetParam();
+  const Vec3 n{2 * bdim, 2 * bdim, 2 * bdim};
+  Array3D xa(n, 1), acc_a(n, 1);
+  test::randomize(xa, 23);
+  test::randomize(acc_a, 29);
+  xa.fill_ghosts_periodic();
+
+  BrickedArray xb = test::to_bricks(xa, BrickShape::cube(bdim));
+  xb.fill_ghosts_periodic();
+  BrickedArray acc_b(xb.grid_ptr(), xb.shape());
+  acc_b.copy_from(acc_a);
+
+  Grid<0> g;
+  const auto expr = Coef(0.5) * (g(i + 1, j, k) + g(i - 1, j, k));
+  dsl::apply_increment(expr, acc_a, xa.interior(), xa);
+  dsl::apply_increment(expr, acc_b, Box::from_extent(n), xb);
+  test::expect_equal(acc_b, acc_a, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(BrickDims, DslBrickVsArray,
+                         ::testing::Values<index_t>(2, 4, 8));
+
+TEST(DslExpr, NegationAndScalarMix) {
+  const Vec3 n{8, 8, 8};
+  Array3D u(n, 1), out(n, 1);
+  test::randomize(u, 31);
+  u.fill_ghosts_periodic();
+  Grid<0> g;
+  const auto expr = -g(i, j, k) + 3.0 * (-(g(i + 1, j, k) - Coef(2.0)));
+  dsl::apply(expr, out, u.interior(), u);
+  for_each(u.interior(), [&](index_t a, index_t b, index_t c) {
+    ASSERT_NEAR(out(a, b, c), -u(a, b, c) + 3.0 * (-(u(a + 1, b, c) - 2.0)),
+                1e-13);
+  });
+}
+
+TEST(DslBrick, RejectsRadiusBeyondBrick) {
+  BrickedArray x = BrickedArray::create({8, 8, 8}, BrickShape::cube(2));
+  BrickedArray out(x.grid_ptr(), x.shape());
+  const auto expr =
+      dsl::star_stencil<3, 0>(std::array<real_t, 4>{1, 1, 1, 1});
+  EXPECT_THROW(dsl::apply(expr, out, Box::from_extent({8, 8, 8}), x), Error);
+}
+
+TEST(DslBrick, RejectsActiveBeyondGhosts) {
+  BrickedArray x = BrickedArray::create({8, 8, 8}, BrickShape::cube(4));
+  BrickedArray out(x.grid_ptr(), x.shape());
+  const auto expr = dsl::laplacian_7pt<0>(-6.0, 1.0);
+  // Active region reaching cells whose taps leave the extended grid.
+  EXPECT_THROW(dsl::apply(expr, out, grow(Box::from_extent({8, 8, 8}), 4), x),
+               Error);
+}
+
+}  // namespace
+}  // namespace gmg

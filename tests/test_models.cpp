@@ -1,0 +1,320 @@
+// Performance-model machinery: kernel cost accounting (Table IV),
+// device model ceilings (§VI-A), roofline/portability metrics (§VII),
+// and the alpha-beta network model and fitter (Fig. 5/6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/device_model.hpp"
+#include "arch/kernel_costs.hpp"
+#include "arch/roofline.hpp"
+#include "net/net_model.hpp"
+#include "perf/vcycle_model.hpp"
+
+namespace gmg {
+namespace {
+
+using arch::Op;
+
+TEST(KernelCosts, ReproducesTableIV) {
+  // Paper Table IV: theoretical AI per V-cycle operation.
+  EXPECT_DOUBLE_EQ(arch::theoretical_ai(Op::kApplyOp), 0.50);
+  EXPECT_DOUBLE_EQ(arch::theoretical_ai(Op::kSmooth), 0.125);
+  EXPECT_DOUBLE_EQ(arch::theoretical_ai(Op::kSmoothResidual), 0.15);
+  EXPECT_NEAR(arch::theoretical_ai(Op::kRestriction), 0.11, 0.002);
+  EXPECT_NEAR(arch::theoretical_ai(Op::kInterpIncrement), 0.06, 0.002);
+}
+
+TEST(KernelCosts, PointBasis) {
+  EXPECT_DOUBLE_EQ(arch::points_for(Op::kRestriction, 4096), 512);
+  EXPECT_DOUBLE_EQ(arch::points_for(Op::kApplyOp, 4096), 4096);
+}
+
+TEST(ArchSpecs, PaperPlatformFacts) {
+  const auto& a100 = arch::a100();
+  EXPECT_EQ(a100.system, "Perlmutter");
+  EXPECT_EQ(a100.ranks_per_node, 4);
+  EXPECT_EQ(a100.simd_width, 32);
+  EXPECT_EQ(a100.brick_dim, 8);
+  EXPECT_TRUE(a100.gpu_aware_mpi);
+
+  const auto& gcd = arch::mi250x_gcd();
+  EXPECT_EQ(gcd.ranks_per_node, 8);
+  EXPECT_EQ(gcd.simd_width, 64);
+
+  const auto& pvc = arch::pvc_tile();
+  EXPECT_EQ(pvc.ranks_per_node, 12);
+  EXPECT_EQ(pvc.simd_width, 16);
+  EXPECT_EQ(pvc.brick_dim, 4);
+  EXPECT_FALSE(pvc.gpu_aware_mpi);
+
+  EXPECT_EQ(arch::paper_platforms().size(), 3u);
+}
+
+TEST(DeviceModel, A100ApplyOpCeilingIs88_75GStencils) {
+  // §VI-A: 1420 GB/s / (2 doubles per stencil) = 88.75 GStencil/s.
+  const arch::DeviceModel dev(arch::a100());
+  EXPECT_NEAR(dev.ceiling_gstencils(Op::kApplyOp), 88.75, 1e-9);
+}
+
+TEST(DeviceModel, ThroughputRisesWithSizeTowardCeiling) {
+  const arch::DeviceModel dev(arch::a100());
+  double prev = 0;
+  for (double n : {16. * 16 * 16, 64. * 64 * 64, 256. * 256 * 256,
+                   512. * 512 * 512}) {
+    const double g = dev.gstencils_per_s(Op::kApplyOp, n);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+  // Saturates below (efficiency x ceiling).
+  EXPECT_LT(prev, dev.ceiling_gstencils(Op::kApplyOp));
+  EXPECT_GT(prev, 0.85 * dev.spec().frac_roofline[0] *
+                      dev.ceiling_gstencils(Op::kApplyOp));
+}
+
+TEST(DeviceModel, SmallKernelsAreLatencyBound) {
+  const arch::DeviceModel dev(arch::a100());
+  const double points = 16 * 16 * 16;
+  const double t = dev.kernel_time(Op::kApplyOp, points);
+  // Launch overhead dominates: time is within 25% of alpha alone.
+  EXPECT_LT(t, 1.25 * dev.spec().launch_overhead_us * 1e-6);
+}
+
+TEST(DeviceModel, VendorOrderingMatchesPaper) {
+  // NVIDIA lowest overhead -> fastest at the coarsest levels.
+  const double small = 16. * 16 * 16;
+  const double a100 =
+      arch::DeviceModel(arch::a100()).kernel_time(Op::kApplyOp, small);
+  const double gcd =
+      arch::DeviceModel(arch::mi250x_gcd()).kernel_time(Op::kApplyOp, small);
+  const double pvc =
+      arch::DeviceModel(arch::pvc_tile()).kernel_time(Op::kApplyOp, small);
+  EXPECT_LT(a100, gcd);
+  EXPECT_LT(gcd, pvc);
+}
+
+TEST(Roofline, AttainablePerformance) {
+  EXPECT_DOUBLE_EQ(arch::roofline_gflops(0.5, 9770, 1420), 710.0);
+  EXPECT_DOUBLE_EQ(arch::roofline_gflops(100.0, 9770, 1420), 9770.0);
+  // Every GMG kernel is memory bound on every paper platform.
+  for (const auto* spec : arch::paper_platforms()) {
+    for (int op = 0; op < arch::kNumOps; ++op) {
+      const double ai = arch::theoretical_ai(static_cast<Op>(op));
+      EXPECT_LT(arch::roofline_gflops(*spec, ai), spec->peak_fp64_gflops);
+    }
+  }
+}
+
+TEST(PerformancePortability, HarmonicMean) {
+  EXPECT_DOUBLE_EQ(arch::harmonic_mean({0.5, 0.5}), 0.5);
+  EXPECT_NEAR(arch::harmonic_mean({1.0, 0.5}), 2.0 / 3.0, 1e-12);
+  // An unsupported platform (efficiency 0) zeroes the metric.
+  EXPECT_DOUBLE_EQ(arch::harmonic_mean({0.9, 0.0, 0.8}), 0.0);
+}
+
+TEST(PerformancePortability, PaperTableIIIAggregation) {
+  // Harmonic mean of each op across the three platforms, then across
+  // ops, must land at the paper's 73% headline (Table III).
+  std::vector<double> per_op;
+  for (int op = 0; op < arch::kNumOps; ++op) {
+    std::vector<double> e;
+    for (const auto* spec : arch::paper_platforms())
+      e.push_back(spec->frac_roofline[op]);
+    per_op.push_back(arch::harmonic_mean(e));
+  }
+  EXPECT_NEAR(arch::harmonic_mean(per_op), 0.73, 0.01);
+}
+
+TEST(PerformancePortability, PaperTableVAggregation) {
+  // Same aggregation for fraction of theoretical AI: 92% (Table V).
+  std::vector<double> per_op;
+  for (int op = 0; op < arch::kNumOps; ++op) {
+    std::vector<double> e;
+    for (const auto* spec : arch::paper_platforms())
+      e.push_back(spec->frac_theoretical_ai[op]);
+    per_op.push_back(arch::harmonic_mean(e));
+  }
+  EXPECT_NEAR(arch::harmonic_mean(per_op), 0.92, 0.01);
+}
+
+TEST(PerformancePortability, PotentialSpeedup) {
+  EXPECT_DOUBLE_EQ(arch::potential_speedup(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(arch::potential_speedup(0.5, 0.5), 4.0);
+  // The paper's MI250X interpolation outlier: ~0.42 x 0.74 -> ~3.2x.
+  const auto& gcd = arch::mi250x_gcd();
+  const double s = arch::potential_speedup(gcd.frac_roofline[4],
+                                           gcd.frac_theoretical_ai[4]);
+  EXPECT_GT(s, 2.5);
+  EXPECT_LT(s, 4.5);
+}
+
+TEST(NetModel, FitRecoversSyntheticParameters) {
+  const double alpha = 37e-6, beta = 12e9;
+  std::vector<double> bytes, secs;
+  for (double x = 1024; x <= 64e6; x *= 4) {
+    bytes.push_back(x);
+    secs.push_back(alpha + x / beta);
+  }
+  const net::LinearParams fit = net::fit_linear_model(bytes, secs);
+  EXPECT_NEAR(fit.alpha_s, alpha, alpha * 0.01);
+  EXPECT_NEAR(fit.beta_bytes_s, beta, beta * 0.01);
+}
+
+TEST(NetModel, LinearParamsRates) {
+  net::LinearParams p{25e-6, 16e9};
+  // Huge messages approach beta; tiny messages are latency bound.
+  EXPECT_NEAR(p.rate_gbs(1e9), 16.0, 0.1);
+  EXPECT_LT(p.rate_gbs(1024), 0.1);
+}
+
+TEST(NetModel, RendezvousBeatsEagerForSmallMessages) {
+  const net::NetworkModel rdzv(arch::mi250x_gcd(),
+                               net::Protocol::kForceRendezvous);
+  const net::NetworkModel eager(arch::mi250x_gcd(),
+                                net::Protocol::kEagerDefault);
+  const double small = 26 * 2048.0;  // well under the eager threshold
+  EXPECT_LT(rdzv.exchange_time(small, 26), eager.exchange_time(small, 26));
+  // Large messages: same rendezvous path either way.
+  const double large = 26 * 4.0e6;
+  EXPECT_DOUBLE_EQ(rdzv.exchange_time(large, 26),
+                   eager.exchange_time(large, 26));
+}
+
+TEST(NetModel, HostStagingPenaltyWithoutGpuAwareMpi) {
+  // Sunspot (no GPU-aware MPI) pays PCIe staging; compare against a
+  // hypothetical Sunspot with it enabled.
+  arch::ArchSpec aware = arch::pvc_tile();
+  aware.gpu_aware_mpi = true;
+  const net::NetworkModel without(arch::pvc_tile());
+  const net::NetworkModel with(aware);
+  EXPECT_GT(without.exchange_time(1e7, 26), with.exchange_time(1e7, 26));
+}
+
+TEST(NetModel, SustainedBandwidthOrderingMatchesFig6) {
+  // Frontier fastest, Perlmutter close, Sunspot behind.
+  const double x = 32e6;
+  const double fr =
+      net::NetworkModel(arch::mi250x_gcd()).exchange_rate_gbs(x, 26);
+  const double pm = net::NetworkModel(arch::a100()).exchange_rate_gbs(x, 26);
+  const double ss =
+      net::NetworkModel(arch::pvc_tile()).exchange_rate_gbs(x, 26);
+  EXPECT_GT(fr, pm);
+  EXPECT_GT(pm, ss);
+  EXPECT_LT(fr, 25.0);  // never exceeds the Slingshot NIC peak
+}
+
+TEST(NetModel, ExchangeTimeMonotoneInEverything) {
+  const net::NetworkModel m(arch::a100());
+  // More bytes -> more time.
+  EXPECT_LT(m.exchange_time(1e6, 26), m.exchange_time(2e6, 26));
+  // More messages -> more posting overhead.
+  EXPECT_LT(m.exchange_time(1e6, 6), m.exchange_time(1e6, 26));
+  // More nodes -> congestion (beyond the 8-node calibration baseline).
+  EXPECT_EQ(m.exchange_time(1e6, 26, 8), m.exchange_time(1e6, 26, 2));
+  EXPECT_LT(m.exchange_time(1e6, 26, 8), m.exchange_time(1e6, 26, 128));
+}
+
+TEST(NetModel, CongestionFactorBaseline) {
+  EXPECT_DOUBLE_EQ(net::NetworkModel::congestion_factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(net::NetworkModel::congestion_factor(8), 1.0);
+  EXPECT_GT(net::NetworkModel::congestion_factor(16), 1.0);
+  EXPECT_GT(net::NetworkModel::congestion_factor(128),
+            net::NetworkModel::congestion_factor(64));
+}
+
+TEST(NetModel, NicSharingOnlyWhenNodeOverSubscribed) {
+  // Sunspot: 12 ranks share 8 NICs when the node is full, but the
+  // paper's per-level experiments run one rank per node.
+  const double bytes = 32e6;
+  const net::NetworkModel one_rank(arch::pvc_tile(),
+                                   net::Protocol::kForceRendezvous, 1);
+  const net::NetworkModel full_node(arch::pvc_tile(),
+                                    net::Protocol::kForceRendezvous, 12);
+  EXPECT_LT(one_rank.exchange_time(bytes, 26),
+            full_node.exchange_time(bytes, 26));
+  // Perlmutter has a NIC per rank: no sharing penalty either way.
+  const net::NetworkModel p1(arch::a100(), net::Protocol::kForceRendezvous,
+                             1);
+  const net::NetworkModel p4(arch::a100(), net::Protocol::kForceRendezvous,
+                             4);
+  EXPECT_DOUBLE_EQ(p1.exchange_time(bytes, 26), p4.exchange_time(bytes, 26));
+}
+
+TEST(NetModel, EagerThresholdBoundary) {
+  const net::NetworkModel eager(arch::a100(), net::Protocol::kEagerDefault);
+  const double just_below = 26 * (net::kEagerThresholdBytes - 64);
+  const double just_above = 26 * (net::kEagerThresholdBytes + 64);
+  // Crossing the threshold removes the eager penalty: the rate jumps.
+  EXPECT_LT(eager.exchange_rate_gbs(just_below, 26),
+            eager.exchange_rate_gbs(just_above, 26));
+}
+
+TEST(VcycleModel, ExchangeBytesAreGhostShell) {
+  // 64^3 cells, 8^3 bricks: shell = 10^3 - 8^3 = 488 bricks.
+  EXPECT_EQ(perf::brick_exchange_bytes({64, 64, 64}, 8),
+            488ull * 512 * sizeof(real_t));
+}
+
+TEST(VcycleModel, CaReducesExchangesByBrickDepth) {
+  const arch::DeviceModel dev(arch::a100());
+  const net::NetworkModel net(arch::a100());
+  perf::VcycleModelInput in;
+  in.subdomain = {128, 128, 128};
+  in.levels = 3;
+  in.smooths = 12;
+  in.bottom_smooths = 24;
+  in.brick_dim = 8;
+  in.include_norm_check = false;
+
+  in.communication_avoiding = true;
+  const auto ca = perf::model_vcycle(dev, net, in);
+  in.communication_avoiding = false;
+  const auto naive = perf::model_vcycle(dev, net, in);
+
+  // Non-bottom level: 2 sweeps x 12 iterations. CA exchanges every 8
+  // sweeps -> 2 x ceil(12/8) = 4; naive exchanges every sweep -> 24.
+  EXPECT_EQ(ca.levels[0].exchange_count, 4);
+  EXPECT_EQ(naive.levels[0].exchange_count, 24);
+  EXPECT_LT(ca.levels[0].exchange_s, naive.levels[0].exchange_s);
+  // CA pays redundant computation in the ghost region.
+  EXPECT_GT(ca.levels[0].applyop_s, naive.levels[0].applyop_s);
+  // Net: CA wins at this (communication-dominated) configuration.
+  EXPECT_LT(ca.total_s, naive.total_s);
+}
+
+TEST(VcycleModel, LevelTimesShrinkGoingDown) {
+  const arch::DeviceModel dev(arch::a100());
+  const net::NetworkModel net(arch::a100());
+  perf::VcycleModelInput in;
+  in.subdomain = {512, 512, 512};
+  in.levels = 6;
+  const auto cost = perf::model_vcycle(dev, net, in);
+  ASSERT_EQ(cost.levels.size(), 6u);
+  // Finest level dominates; each coarser level is cheaper, but far
+  // less than the 8x compute ratio once latency dominates (the paper's
+  // ~4x surface-dominated scaling, then a latency floor).
+  for (std::size_t l = 1; l + 1 < cost.levels.size(); ++l) {
+    EXPECT_LT(cost.levels[l].total_s(), cost.levels[l - 1].total_s());
+  }
+  EXPECT_GT(cost.total_s, 0);
+  EXPECT_GT(cost.useful_stencils, 0);
+}
+
+TEST(VcycleModel, FinestLevelBreakdownResemblesTableII) {
+  // Paper Table II (A100): applyOp 25%, smooth+residual 54.5%,
+  // restriction 1%, interpolation 1.9%, exchange 17.5%.
+  const arch::DeviceModel dev(arch::a100());
+  const net::NetworkModel net(arch::a100());
+  perf::VcycleModelInput in;  // paper config: 512^3, 6 levels, CA
+  const auto cost = perf::model_vcycle(dev, net, in);
+  const auto& l0 = cost.levels[0];
+  const double total = l0.total_s();
+  EXPECT_NEAR(l0.applyop_s / total, 0.25, 0.10);
+  EXPECT_NEAR(l0.smooth_residual_s / total, 0.545, 0.12);
+  EXPECT_LT(l0.restriction_s / total, 0.03);
+  EXPECT_LT(l0.interp_s / total, 0.06);
+  EXPECT_NEAR(l0.exchange_s / total, 0.175, 0.10);
+}
+
+}  // namespace
+}  // namespace gmg

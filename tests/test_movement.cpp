@@ -1,0 +1,120 @@
+// Cache-simulator data-movement measurement: compulsory traffic must
+// match the per-kernel byte accounting, and fine-grain blocking must
+// move less data than the conventional layout under a small cache.
+#include <gtest/gtest.h>
+
+#include "arch/kernel_costs.hpp"
+#include "perf/movement.hpp"
+
+namespace gmg::perf {
+namespace {
+
+using arch::Op;
+
+TEST(CacheSim, HitsMissesWritebacks) {
+  CacheSim c(0, 64);  // infinite
+  c.read(0);
+  c.read(8);    // same line: hit
+  c.read(64);   // second line
+  c.write(0);   // hit, marks dirty
+  c.write(640); // write miss: allocate, no fill
+  EXPECT_EQ(c.fills(), 2u);
+  EXPECT_EQ(c.writebacks(), 2u);  // dirty lines 0 and 640
+  EXPECT_EQ(c.bytes_moved(), 4u * 64);
+}
+
+TEST(CacheSim, LruEviction) {
+  CacheSim c(128, 64);  // two lines
+  c.read(0);
+  c.read(64);
+  c.read(128);  // evicts line 0 (clean: no writeback)
+  c.read(0);    // miss again
+  EXPECT_EQ(c.fills(), 4u);
+  c.write(0);
+  c.read(64);   // miss (was evicted), evicts line 128
+  c.read(128);  // evicts dirty line 0 -> writeback
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Movement, CompulsoryTrafficMatchesKernelAccounting) {
+  // Infinite cache, brick layout, 32^3: bytes/point should approach
+  // the streaming accounting (write-validate convention): applyOp 16,
+  // smooth+residual 40, restriction 72, interpolation+increment ~17.
+  // (smooth measures 32 — its 24 in Table IV counts the x
+  // read-modify-write once by convention.)
+  const index_t n = 32, bdim = 8;
+  const auto bpp = [&](Op op) {
+    return measure_movement(op, Layout::kBrick, n, bdim, 0, 64)
+        .bytes_per_point();
+  };
+  // applyOp reads one cell layer of the +/-x ghost bricks per row, but
+  // each such read drags a whole 64 B line (8 cells) in — the ghost
+  // line amplification inherent to brick storage. ~21 B/pt at 32^3.
+  EXPECT_NEAR(bpp(Op::kApplyOp), 16.0, 6.0);
+  EXPECT_NEAR(bpp(Op::kSmooth), 32.0, 0.01);
+  EXPECT_NEAR(bpp(Op::kSmoothResidual), 40.0, 0.01);
+  EXPECT_NEAR(bpp(Op::kRestriction), 72.0, 0.01);
+  EXPECT_NEAR(bpp(Op::kInterpIncrement), 17.0, 0.2);
+}
+
+TEST(Movement, ArrayLayoutCompulsoryMatchesToo) {
+  const index_t n = 32;
+  const auto bpp = [&](Op op) {
+    return measure_movement(op, Layout::kArray, n, 8, 0, 64)
+        .bytes_per_point();
+  };
+  EXPECT_NEAR(bpp(Op::kApplyOp), 16.0, 16.0 * 0.25);
+  // Ghosted array rows are 34 wide, so cache lines straddle the
+  // ghost/interior boundary and pull extra bytes (~43 B/pt) — brick
+  // storage measures exactly 40 (see the brick-layout test above).
+  // This is precisely the dense-vs-sparse-streams point of paper §III.
+  EXPECT_NEAR(bpp(Op::kSmoothResidual), 40.0, 4.0);
+}
+
+TEST(Movement, MeasuredAiNearTheoreticalWithInfiniteCache) {
+  const auto r =
+      measure_movement(Op::kSmoothResidual, Layout::kBrick, 32, 8, 0, 64);
+  EXPECT_NEAR(r.ai(), arch::theoretical_ai(Op::kSmoothResidual), 0.01);
+}
+
+TEST(Movement, BricksBeatArraysUnderSmallCache) {
+  // The fine-grain blocking claim (paper §III): with a cache too small
+  // to hold three full planes of the domain, the conventional layout
+  // re-fetches neighbor planes, while bricks keep their working set
+  // resident. 64^3 doubles: one plane = 32 KiB; cache = 64 KiB.
+  const index_t n = 64;
+  const std::uint64_t cache = 64 * 1024;
+  const auto brick =
+      measure_movement(Op::kApplyOp, Layout::kBrick, n, 8, cache, 64);
+  const auto array =
+      measure_movement(Op::kApplyOp, Layout::kArray, n, 8, cache, 64);
+  EXPECT_LT(brick.bytes, array.bytes);
+  // Bricks stay near compulsory traffic even with the small cache.
+  const auto compulsory =
+      measure_movement(Op::kApplyOp, Layout::kBrick, n, 8, 0, 64);
+  EXPECT_LT(static_cast<double>(brick.bytes),
+            1.35 * static_cast<double>(compulsory.bytes));
+}
+
+TEST(Movement, SmallerLinesReduceGhostOverhead) {
+  // With 128 B lines the one-cell ghost reads drag in more data than
+  // with 64 B lines (paper §III: blocking turns many sparse streams
+  // into dense ones).
+  const auto l64 = measure_movement(Op::kApplyOp, Layout::kArray, 32, 8,
+                                    0, 64);
+  const auto l128 = measure_movement(Op::kApplyOp, Layout::kArray, 32, 8,
+                                     0, 128);
+  EXPECT_LE(l64.bytes, l128.bytes);
+}
+
+TEST(Movement, FlopsFollowTableIvAccounting) {
+  const auto r = measure_movement(Op::kApplyOp, Layout::kBrick, 16, 8, 0, 64);
+  EXPECT_DOUBLE_EQ(r.flops, 8.0 * 16 * 16 * 16);
+  const auto rr =
+      measure_movement(Op::kRestriction, Layout::kBrick, 16, 8, 0, 64);
+  EXPECT_DOUBLE_EQ(rr.points, 8.0 * 8 * 8);  // coarse points
+  EXPECT_DOUBLE_EQ(rr.flops, 8.0 * 8 * 8 * 8);
+}
+
+}  // namespace
+}  // namespace gmg::perf

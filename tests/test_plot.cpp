@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/ascii_plot.hpp"
+#include "common/error.hpp"
+
+namespace gmg {
+namespace {
+
+TEST(AsciiPlot, RendersPointsAtExpectedCorners) {
+  AsciiPlot plot({16, 8, false, false, "x", "y"});
+  plot.add_series("s", {{0.0, 0.0}, {1.0, 1.0}});
+  const std::string out = plot.render();
+  const auto lines = [&] {
+    std::vector<std::string> v;
+    std::string line;
+    std::istringstream is(out);
+    while (std::getline(is, line)) v.push_back(line);
+    return v;
+  }();
+  // Top row (max y) holds the (1,1) point at the right edge; the
+  // bottom plot row holds (0,0) at the left edge.
+  EXPECT_NE(lines[1].find('a'), std::string::npos);
+  EXPECT_EQ(lines[1].back(), 'a');
+  const std::string& bottom = lines[8];  // last plot row before axis
+  EXPECT_NE(bottom.find('a'), std::string::npos);
+  // Legend present.
+  EXPECT_NE(out.find("a = s"), std::string::npos);
+  EXPECT_NE(out.find("x"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogAxesRejectNonPositive) {
+  AsciiPlot plot({16, 8, true, true, "", ""});
+  plot.add_series("s", {{0.0, 1.0}});
+  EXPECT_THROW(plot.render(), Error);
+}
+
+TEST(AsciiPlot, LogSpacingIsUniformForGeometricSeries) {
+  // On a log x-axis, a geometric series must land in evenly spaced
+  // columns.
+  AsciiPlot plot({31, 6, true, false, "", ""});
+  plot.add_series("s", {{1, 1}, {10, 1}, {100, 1}, {1000, 1}});
+  const std::string out = plot.render();
+  std::istringstream is(out);
+  std::string line;
+  std::vector<int> cols;
+  while (std::getline(is, line)) {
+    if (line.find('a') == std::string::npos) continue;
+    for (std::size_t c = 0; c < line.size(); ++c)
+      if (line[c] == 'a') cols.push_back(static_cast<int>(c));
+    break;
+  }
+  ASSERT_EQ(cols.size(), 4u);
+  EXPECT_EQ(cols[1] - cols[0], cols[2] - cols[1]);
+  EXPECT_EQ(cols[2] - cols[1], cols[3] - cols[2]);
+}
+
+TEST(AsciiPlot, OverlapMarkedWithCapital) {
+  AsciiPlot plot({16, 8, false, false, "", ""});
+  plot.add_series("one", {{0.0, 0.0}, {1.0, 1.0}});
+  plot.add_series("two", {{1.0, 1.0}});  // lands on series one's point
+  const std::string out = plot.render();
+  EXPECT_NE(out.find('B'), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsDegenerateSize) {
+  EXPECT_THROW(AsciiPlot({4, 2, false, false, "", ""}), Error);
+}
+
+}  // namespace
+}  // namespace gmg

@@ -1,0 +1,45 @@
+// Cross-rank profile reduction (the artifact's [min, avg, max] (σ)
+// across ranks).
+#include <gtest/gtest.h>
+
+#include "perf/rank_report.hpp"
+
+namespace gmg::perf {
+namespace {
+
+TEST(CrossRankReport, StatsSpanTheRanks) {
+  comm::World world(4);
+  world.run([&](comm::Communicator& c) {
+    Profiler prof;
+    // Each rank records a deterministic per-rank total.
+    prof.record(0, Phase::kApplyOp, 0.1 * (c.rank() + 1));
+    prof.record(0, Phase::kApplyOp, 0.1 * (c.rank() + 1));
+    prof.record(1, Phase::kExchange, 1.0);
+
+    const RunningStats s = cross_rank_stats(c, prof, 0, Phase::kApplyOp);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_NEAR(s.min(), 0.2, 1e-12);   // rank 0: 2 x 0.1
+    EXPECT_NEAR(s.max(), 0.8, 1e-12);   // rank 3: 2 x 0.4
+    EXPECT_NEAR(s.mean(), 0.5, 1e-12);
+  });
+}
+
+TEST(CrossRankReport, ArtifactFormatLines) {
+  comm::World world(2);
+  world.run([&](comm::Communicator& c) {
+    Profiler prof;
+    prof.record(0, Phase::kApplyOp, 0.25);
+    prof.record(0, Phase::kSmoothResidual, 0.5);
+    prof.record(2, Phase::kSmooth, 0.125);
+    const std::string report = cross_rank_report(c, prof);
+    EXPECT_NE(report.find("level 0 applyOp ["), std::string::npos);
+    EXPECT_NE(report.find("level 0 smooth+residual ["), std::string::npos);
+    EXPECT_NE(report.find("level 2 smooth ["), std::string::npos);
+    EXPECT_NE(report.find("σ"), std::string::npos);
+    // applyOp identical on both ranks: zero spread.
+    EXPECT_NE(report.find("[0.25, 0.25, 0.25]"), std::string::npos);
+  });
+}
+
+}  // namespace
+}  // namespace gmg::perf

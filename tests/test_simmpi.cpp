@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comm/simmpi.hpp"
+#include "common/rng.hpp"
+
+namespace gmg::comm {
+namespace {
+
+TEST(SimMpi, RankAndSize) {
+  World world(4);
+  std::vector<int> seen(4, -1);
+  world.run([&](Communicator& c) {
+    EXPECT_EQ(c.size(), 4);
+    seen[static_cast<size_t>(c.rank())] = c.rank();
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(seen[static_cast<size_t>(r)], r);
+}
+
+TEST(SimMpi, PingPong) {
+  World world(2);
+  world.run([&](Communicator& c) {
+    double buf = 0;
+    if (c.rank() == 0) {
+      double v = 3.25;
+      Request s = c.isend(&v, sizeof(v), 1, 7);
+      Request r = c.irecv(&buf, sizeof(buf), 1, 8);
+      std::vector<Request> reqs{s, r};
+      c.wait_all(reqs);
+      EXPECT_DOUBLE_EQ(buf, 6.5);
+    } else {
+      Request r = c.irecv(&buf, sizeof(buf), 0, 7);
+      c.wait(r);
+      EXPECT_DOUBLE_EQ(buf, 3.25);
+      double v = buf * 2;
+      Request s = c.isend(&v, sizeof(v), 0, 8);
+      c.wait(s);
+    }
+  });
+}
+
+TEST(SimMpi, SendBeforeRecvAndRecvBeforeSend) {
+  // Both orders must match: unexpected-message queue and posted-recv
+  // list paths.
+  World world(2);
+  for (int round = 0; round < 2; ++round) {
+    world.run([&](Communicator& c) {
+      int v = 41 + round;
+      int got = 0;
+      if (c.rank() == 0) {
+        if (round == 0) c.barrier();  // force send-after-recv posted
+        Request s = c.isend(&v, sizeof(v), 1, 3);
+        c.wait(s);
+        c.barrier();
+      } else {
+        Request r = c.irecv(&got, sizeof(got), 0, 3);
+        if (round == 0) c.barrier();
+        c.wait(r);
+        EXPECT_EQ(got, 41 + round);
+        c.barrier();
+      }
+    });
+  }
+}
+
+TEST(SimMpi, TagAndSourceMatching) {
+  World world(3);
+  world.run([&](Communicator& c) {
+    if (c.rank() == 0) {
+      int a = 100, b = 200;
+      Request s1 = c.isend(&a, sizeof(a), 2, 1);
+      Request s2 = c.isend(&b, sizeof(b), 2, 2);
+      std::vector<Request> reqs{s1, s2};
+      c.wait_all(reqs);
+    } else if (c.rank() == 1) {
+      int v = 300;
+      Request s = c.isend(&v, sizeof(v), 2, 1);
+      c.wait(s);
+    } else {
+      int t1a = 0, t2 = 0, t1b = 0;
+      // Post in a scrambled order; matching is by (source, tag).
+      Request r2 = c.irecv(&t2, sizeof(t2), 0, 2);
+      Request r1b = c.irecv(&t1b, sizeof(t1b), 1, 1);
+      Request r1a = c.irecv(&t1a, sizeof(t1a), 0, 1);
+      std::vector<Request> reqs{r2, r1b, r1a};
+      c.wait_all(reqs);
+      EXPECT_EQ(t1a, 100);
+      EXPECT_EQ(t2, 200);
+      EXPECT_EQ(t1b, 300);
+    }
+  });
+}
+
+TEST(SimMpi, AnySource) {
+  World world(3);
+  world.run([&](Communicator& c) {
+    if (c.rank() == 0) {
+      int sum = 0;
+      for (int n = 0; n < 2; ++n) {
+        int got = 0;
+        Request r = c.irecv(&got, sizeof(got), kAnySource, 9);
+        c.wait(r);
+        sum += got;
+      }
+      EXPECT_EQ(sum, 30);
+    } else {
+      int v = c.rank() * 10;
+      Request s = c.isend(&v, sizeof(v), 0, 9);
+      c.wait(s);
+    }
+  });
+}
+
+TEST(SimMpi, SegmentedSendIntoSegmentedRecv) {
+  World world(2);
+  world.run([&](Communicator& c) {
+    if (c.rank() == 0) {
+      std::vector<double> a{1, 2, 3}, b{4, 5};
+      Request s = c.isendv(
+          {ConstSegment{a.data(), 3 * sizeof(double)},
+           ConstSegment{b.data(), 2 * sizeof(double)}},
+          1, 0);
+      c.wait(s);
+    } else {
+      std::vector<double> x(2), y(3);
+      Request r = c.irecvv({Segment{x.data(), 2 * sizeof(double)},
+                            Segment{y.data(), 3 * sizeof(double)}},
+                           0, 0);
+      c.wait(r);
+      EXPECT_EQ(x, (std::vector<double>{1, 2}));
+      EXPECT_EQ(y, (std::vector<double>{3, 4, 5}));
+    }
+  });
+}
+
+TEST(SimMpi, Collectives) {
+  World world(5);
+  world.run([&](Communicator& c) {
+    const double mine = c.rank() + 1;
+    EXPECT_DOUBLE_EQ(c.allreduce_max(mine), 5.0);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(mine), 15.0);
+    const auto all = c.allgather(mine * 2);
+    ASSERT_EQ(all.size(), 5u);
+    for (int r = 0; r < 5; ++r)
+      EXPECT_DOUBLE_EQ(all[static_cast<size_t>(r)], 2.0 * (r + 1));
+  });
+}
+
+TEST(SimMpi, RepeatedCollectivesKeepGenerationsStraight) {
+  World world(4);
+  world.run([&](Communicator& c) {
+    for (int round = 0; round < 50; ++round) {
+      const double v = c.rank() * 100 + round;
+      EXPECT_DOUBLE_EQ(c.allreduce_max(v), 300.0 + round);
+      c.barrier();
+      EXPECT_DOUBLE_EQ(c.allreduce_sum(round), 4.0 * round);
+    }
+  });
+}
+
+TEST(SimMpi, AllToAllStress) {
+  // Every rank sends a random-sized message to every other rank for
+  // several rounds; receives are posted in reverse order.
+  const int nranks = 6;
+  World world(nranks);
+  world.run([&](Communicator& c) {
+    Rng rng(static_cast<std::uint64_t>(c.rank()) + 1000);
+    for (int round = 0; round < 5; ++round) {
+      std::vector<std::vector<double>> outbox(nranks);
+      std::vector<std::vector<double>> inbox(nranks);
+      std::vector<Request> reqs;
+      for (int peer = nranks - 1; peer >= 0; --peer) {
+        if (peer == c.rank()) continue;
+        // Size depends deterministically on (sender, receiver, round).
+        const auto size_of = [&](int from, int to) {
+          return 1 + (from * 31 + to * 17 + round * 7) % 9;
+        };
+        inbox[static_cast<size_t>(peer)].resize(
+            static_cast<size_t>(size_of(peer, c.rank())));
+        reqs.push_back(c.irecv(inbox[static_cast<size_t>(peer)].data(),
+                               inbox[static_cast<size_t>(peer)].size() *
+                                   sizeof(double),
+                               peer, round));
+        auto& out = outbox[static_cast<size_t>(peer)];
+        out.resize(static_cast<size_t>(size_of(c.rank(), peer)));
+        for (auto& v : out) v = c.rank() * 1000 + peer;
+        reqs.push_back(c.isend(out.data(), out.size() * sizeof(double), peer,
+                               round));
+      }
+      c.wait_all(reqs);
+      for (int peer = 0; peer < nranks; ++peer) {
+        if (peer == c.rank()) continue;
+        for (double v : inbox[static_cast<size_t>(peer)]) {
+          EXPECT_DOUBLE_EQ(v, peer * 1000 + c.rank());
+        }
+      }
+    }
+  });
+}
+
+TEST(SimMpi, TrafficAccounting) {
+  World world(2);
+  world.run([&](Communicator& c) {
+    std::vector<double> buf(16);
+    if (c.rank() == 0) {
+      Request s = c.isend(buf.data(), buf.size() * sizeof(double), 1, 0);
+      c.wait(s);
+      EXPECT_EQ(c.bytes_sent(), 128u);
+      EXPECT_EQ(c.messages_sent(), 1u);
+    } else {
+      Request r = c.irecv(buf.data(), buf.size() * sizeof(double), 0, 0);
+      c.wait(r);
+      EXPECT_EQ(c.bytes_sent(), 0u);
+    }
+  });
+  EXPECT_EQ(world.total_bytes_sent(), 128u);
+  EXPECT_EQ(world.total_messages_sent(), 1u);
+}
+
+TEST(SimMpi, SizeMismatchFailsFast) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Communicator& c) {
+    double small = 0;
+    std::vector<double> big(4, 1.0);
+    if (c.rank() == 0) {
+      Request s = c.isend(big.data(), sizeof(double) * 4, 1, 0);
+      c.wait(s);
+    } else {
+      Request r = c.irecv(&small, sizeof(double), 0, 0);
+      c.wait(r);
+    }
+  }),
+               Error);
+}
+
+TEST(SimMpi, PeerFailurePropagates) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Communicator& c) {
+    if (c.rank() == 0) {
+      throw Error("rank 0 exploded");
+    } else {
+      c.barrier();  // would deadlock without abort propagation
+    }
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace gmg::comm

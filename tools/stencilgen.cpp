@@ -1,0 +1,66 @@
+// stencilgen — the offline stencil-to-C++ code generator (the
+// reproduction of BrickLib's vector code generator, paper §III).
+//
+//   stencilgen <spec-file> [-o <output.hpp>]
+//
+// Reads a stencil spec (see src/dsl/codegen.hpp for the format) and
+// emits a specialized brick kernel header. Generated headers are
+// checked in under src/dsl/generated/ and golden-tested against this
+// tool's output.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "dsl/codegen.hpp"
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o") {
+      if (++i >= argc) {
+        std::cerr << "-o needs a path\n";
+        return 1;
+      }
+      out_path = argv[i];
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::cerr << "usage: stencilgen <spec-file> [-o <output.hpp>]\n";
+      return 1;
+    }
+  }
+  if (spec_path.empty()) {
+    std::cerr << "usage: stencilgen <spec-file> [-o <output.hpp>]\n";
+    return 1;
+  }
+
+  std::ifstream in(spec_path);
+  if (!in.good()) {
+    std::cerr << "cannot read '" << spec_path << "'\n";
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  try {
+    const auto spec = gmg::dsl::codegen::StencilSpec::parse(text.str());
+    const std::string code = gmg::dsl::codegen::generate_kernel(spec);
+    if (out_path.empty()) {
+      std::cout << code;
+    } else {
+      std::ofstream out(out_path);
+      if (!out.good()) {
+        std::cerr << "cannot write '" << out_path << "'\n";
+        return 1;
+      }
+      out << code;
+      std::cerr << "wrote " << out_path << " (" << code.size() << " bytes)\n";
+    }
+  } catch (const gmg::Error& e) {
+    std::cerr << "stencilgen: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
