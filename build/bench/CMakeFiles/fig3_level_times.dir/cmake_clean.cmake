@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_level_times.dir/bench_util.cpp.o"
+  "CMakeFiles/fig3_level_times.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig3_level_times.dir/fig3_level_times.cpp.o"
+  "CMakeFiles/fig3_level_times.dir/fig3_level_times.cpp.o.d"
+  "fig3_level_times"
+  "fig3_level_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_level_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hpgmg_compare.dir/bench_util.cpp.o"
+  "CMakeFiles/fig4_hpgmg_compare.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig4_hpgmg_compare.dir/fig4_hpgmg_compare.cpp.o"
+  "CMakeFiles/fig4_hpgmg_compare.dir/fig4_hpgmg_compare.cpp.o.d"
+  "fig4_hpgmg_compare"
+  "fig4_hpgmg_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hpgmg_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

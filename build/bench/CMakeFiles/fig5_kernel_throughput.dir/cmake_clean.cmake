@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_kernel_throughput.dir/bench_util.cpp.o"
+  "CMakeFiles/fig5_kernel_throughput.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig5_kernel_throughput.dir/fig5_kernel_throughput.cpp.o"
+  "CMakeFiles/fig5_kernel_throughput.dir/fig5_kernel_throughput.cpp.o.d"
+  "fig5_kernel_throughput"
+  "fig5_kernel_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_kernel_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

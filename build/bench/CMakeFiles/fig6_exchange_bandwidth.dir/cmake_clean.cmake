@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_exchange_bandwidth.dir/bench_util.cpp.o"
+  "CMakeFiles/fig6_exchange_bandwidth.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig6_exchange_bandwidth.dir/fig6_exchange_bandwidth.cpp.o"
+  "CMakeFiles/fig6_exchange_bandwidth.dir/fig6_exchange_bandwidth.cpp.o.d"
+  "fig6_exchange_bandwidth"
+  "fig6_exchange_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_exchange_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_potential_speedup.dir/bench_util.cpp.o"
+  "CMakeFiles/fig7_potential_speedup.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig7_potential_speedup.dir/fig7_potential_speedup.cpp.o"
+  "CMakeFiles/fig7_potential_speedup.dir/fig7_potential_speedup.cpp.o.d"
+  "fig7_potential_speedup"
+  "fig7_potential_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_potential_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_strong_scaling.dir/bench_util.cpp.o"
+  "CMakeFiles/fig9_strong_scaling.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig9_strong_scaling.dir/fig9_strong_scaling.cpp.o"
+  "CMakeFiles/fig9_strong_scaling.dir/fig9_strong_scaling.cpp.o.d"
+  "fig9_strong_scaling"
+  "fig9_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

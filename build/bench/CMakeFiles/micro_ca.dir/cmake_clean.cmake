@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ca.dir/micro_ca.cpp.o"
+  "CMakeFiles/micro_ca.dir/micro_ca.cpp.o.d"
+  "micro_ca"
+  "micro_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

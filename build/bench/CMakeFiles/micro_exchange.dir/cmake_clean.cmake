@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_exchange.dir/micro_exchange.cpp.o"
+  "CMakeFiles/micro_exchange.dir/micro_exchange.cpp.o.d"
+  "micro_exchange"
+  "micro_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

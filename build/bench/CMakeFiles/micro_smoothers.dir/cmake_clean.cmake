@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_smoothers.dir/micro_smoothers.cpp.o"
+  "CMakeFiles/micro_smoothers.dir/micro_smoothers.cpp.o.d"
+  "micro_smoothers"
+  "micro_smoothers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_smoothers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_stencil.cpp" "bench/CMakeFiles/micro_stencil.dir/micro_stencil.cpp.o" "gcc" "bench/CMakeFiles/micro_stencil.dir/micro_stencil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmg/CMakeFiles/gmg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gmg_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gmg_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/brick/CMakeFiles/gmg_brick.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/gmg_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/gmg_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/gmg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gmg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/gmg_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

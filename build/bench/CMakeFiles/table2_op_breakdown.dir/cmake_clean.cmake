@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_op_breakdown.dir/bench_util.cpp.o"
+  "CMakeFiles/table2_op_breakdown.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table2_op_breakdown.dir/table2_op_breakdown.cpp.o"
+  "CMakeFiles/table2_op_breakdown.dir/table2_op_breakdown.cpp.o.d"
+  "table2_op_breakdown"
+  "table2_op_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_op_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

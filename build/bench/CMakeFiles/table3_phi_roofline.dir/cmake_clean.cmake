@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_phi_roofline.dir/bench_util.cpp.o"
+  "CMakeFiles/table3_phi_roofline.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table3_phi_roofline.dir/table3_phi_roofline.cpp.o"
+  "CMakeFiles/table3_phi_roofline.dir/table3_phi_roofline.cpp.o.d"
+  "table3_phi_roofline"
+  "table3_phi_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_phi_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_theoretical_ai.dir/bench_util.cpp.o"
+  "CMakeFiles/table4_theoretical_ai.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table4_theoretical_ai.dir/table4_theoretical_ai.cpp.o"
+  "CMakeFiles/table4_theoretical_ai.dir/table4_theoretical_ai.cpp.o.d"
+  "table4_theoretical_ai"
+  "table4_theoretical_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_theoretical_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_phi_theoretical_ai.dir/bench_util.cpp.o"
+  "CMakeFiles/table5_phi_theoretical_ai.dir/bench_util.cpp.o.d"
+  "CMakeFiles/table5_phi_theoretical_ai.dir/table5_phi_theoretical_ai.cpp.o"
+  "CMakeFiles/table5_phi_theoretical_ai.dir/table5_phi_theoretical_ai.cpp.o.d"
+  "table5_phi_theoretical_ai"
+  "table5_phi_theoretical_ai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_phi_theoretical_ai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_solvers.dir/advanced_solvers.cpp.o"
+  "CMakeFiles/advanced_solvers.dir/advanced_solvers.cpp.o.d"
+  "advanced_solvers"
+  "advanced_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_artifact.dir/gmg_artifact.cpp.o"
+  "CMakeFiles/gmg_artifact.dir/gmg_artifact.cpp.o.d"
+  "gmg_artifact"
+  "gmg_artifact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_implicit.dir/heat_implicit.cpp.o"
+  "CMakeFiles/heat_implicit.dir/heat_implicit.cpp.o.d"
+  "heat_implicit"
+  "heat_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rank_sim.dir/multi_rank_sim.cpp.o"
+  "CMakeFiles/multi_rank_sim.dir/multi_rank_sim.cpp.o.d"
+  "multi_rank_sim"
+  "multi_rank_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rank_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_survey.dir/performance_survey.cpp.o"
+  "CMakeFiles/performance_survey.dir/performance_survey.cpp.o.d"
+  "performance_survey"
+  "performance_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

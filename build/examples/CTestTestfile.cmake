@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "-s" "32" "-l" "3" "-n" "20")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_implicit "/root/repo/build/examples/heat_implicit" "-s" "32" "-steps" "4")
+set_tests_properties(example_heat_implicit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_rank_sim "/root/repo/build/examples/multi_rank_sim" "-s" "32" "-r" "8" "-l" "3" "-b" "4")
+set_tests_properties(example_multi_rank_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_performance_survey "/root/repo/build/examples/performance_survey" "-s" "32" "-v" "1")
+set_tests_properties(example_performance_survey PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_advanced_solvers "/root/repo/build/examples/advanced_solvers" "-s" "32")
+set_tests_properties(example_advanced_solvers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gmg_artifact "/root/repo/build/examples/gmg_artifact" "-s" "16" "-I" "2" "-l" "2" "-r" "8" "-b" "4")
+set_tests_properties(example_gmg_artifact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

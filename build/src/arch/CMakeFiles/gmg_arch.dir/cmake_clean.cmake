@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_arch.dir/arch_spec.cpp.o"
+  "CMakeFiles/gmg_arch.dir/arch_spec.cpp.o.d"
+  "libgmg_arch.a"
+  "libgmg_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_baseline.dir/operators_array.cpp.o"
+  "CMakeFiles/gmg_baseline.dir/operators_array.cpp.o.d"
+  "CMakeFiles/gmg_baseline.dir/solver_array.cpp.o"
+  "CMakeFiles/gmg_baseline.dir/solver_array.cpp.o.d"
+  "libgmg_baseline.a"
+  "libgmg_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

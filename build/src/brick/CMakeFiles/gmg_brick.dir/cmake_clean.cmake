@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_brick.dir/brick_grid.cpp.o"
+  "CMakeFiles/gmg_brick.dir/brick_grid.cpp.o.d"
+  "CMakeFiles/gmg_brick.dir/bricked_array.cpp.o"
+  "CMakeFiles/gmg_brick.dir/bricked_array.cpp.o.d"
+  "libgmg_brick.a"
+  "libgmg_brick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_brick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

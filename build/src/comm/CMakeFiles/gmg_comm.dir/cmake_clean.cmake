@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_comm.dir/exchange.cpp.o"
+  "CMakeFiles/gmg_comm.dir/exchange.cpp.o.d"
+  "CMakeFiles/gmg_comm.dir/simmpi.cpp.o"
+  "CMakeFiles/gmg_comm.dir/simmpi.cpp.o.d"
+  "libgmg_comm.a"
+  "libgmg_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

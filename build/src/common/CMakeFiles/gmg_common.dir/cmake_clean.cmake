@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/gmg_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/gmg_common.dir/options.cpp.o"
+  "CMakeFiles/gmg_common.dir/options.cpp.o.d"
+  "CMakeFiles/gmg_common.dir/stats.cpp.o"
+  "CMakeFiles/gmg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gmg_common.dir/table.cpp.o"
+  "CMakeFiles/gmg_common.dir/table.cpp.o.d"
+  "CMakeFiles/gmg_common.dir/types.cpp.o"
+  "CMakeFiles/gmg_common.dir/types.cpp.o.d"
+  "libgmg_common.a"
+  "libgmg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

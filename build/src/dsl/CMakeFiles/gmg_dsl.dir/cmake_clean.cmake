@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_dsl.dir/codegen.cpp.o"
+  "CMakeFiles/gmg_dsl.dir/codegen.cpp.o.d"
+  "libgmg_dsl.a"
+  "libgmg_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

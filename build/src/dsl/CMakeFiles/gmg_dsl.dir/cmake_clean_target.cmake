@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgmg_dsl.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_core.dir/operators.cpp.o"
+  "CMakeFiles/gmg_core.dir/operators.cpp.o.d"
+  "CMakeFiles/gmg_core.dir/operators_varcoef.cpp.o"
+  "CMakeFiles/gmg_core.dir/operators_varcoef.cpp.o.d"
+  "CMakeFiles/gmg_core.dir/solver.cpp.o"
+  "CMakeFiles/gmg_core.dir/solver.cpp.o.d"
+  "libgmg_core.a"
+  "libgmg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

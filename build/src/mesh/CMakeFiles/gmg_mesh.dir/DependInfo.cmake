@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/array3d.cpp" "src/mesh/CMakeFiles/gmg_mesh.dir/array3d.cpp.o" "gcc" "src/mesh/CMakeFiles/gmg_mesh.dir/array3d.cpp.o.d"
+  "/root/repo/src/mesh/box.cpp" "src/mesh/CMakeFiles/gmg_mesh.dir/box.cpp.o" "gcc" "src/mesh/CMakeFiles/gmg_mesh.dir/box.cpp.o.d"
+  "/root/repo/src/mesh/decomposition.cpp" "src/mesh/CMakeFiles/gmg_mesh.dir/decomposition.cpp.o" "gcc" "src/mesh/CMakeFiles/gmg_mesh.dir/decomposition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_mesh.dir/array3d.cpp.o"
+  "CMakeFiles/gmg_mesh.dir/array3d.cpp.o.d"
+  "CMakeFiles/gmg_mesh.dir/box.cpp.o"
+  "CMakeFiles/gmg_mesh.dir/box.cpp.o.d"
+  "CMakeFiles/gmg_mesh.dir/decomposition.cpp.o"
+  "CMakeFiles/gmg_mesh.dir/decomposition.cpp.o.d"
+  "libgmg_mesh.a"
+  "libgmg_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

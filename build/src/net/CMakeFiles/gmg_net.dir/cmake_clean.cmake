@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_net.dir/net_model.cpp.o"
+  "CMakeFiles/gmg_net.dir/net_model.cpp.o.d"
+  "libgmg_net.a"
+  "libgmg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

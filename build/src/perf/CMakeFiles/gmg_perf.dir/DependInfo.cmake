@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/movement.cpp" "src/perf/CMakeFiles/gmg_perf.dir/movement.cpp.o" "gcc" "src/perf/CMakeFiles/gmg_perf.dir/movement.cpp.o.d"
+  "/root/repo/src/perf/profiler.cpp" "src/perf/CMakeFiles/gmg_perf.dir/profiler.cpp.o" "gcc" "src/perf/CMakeFiles/gmg_perf.dir/profiler.cpp.o.d"
+  "/root/repo/src/perf/rank_report.cpp" "src/perf/CMakeFiles/gmg_perf.dir/rank_report.cpp.o" "gcc" "src/perf/CMakeFiles/gmg_perf.dir/rank_report.cpp.o.d"
+  "/root/repo/src/perf/vcycle_model.cpp" "src/perf/CMakeFiles/gmg_perf.dir/vcycle_model.cpp.o" "gcc" "src/perf/CMakeFiles/gmg_perf.dir/vcycle_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/gmg_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gmg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/brick/CMakeFiles/gmg_brick.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/gmg_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gmg_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gmg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

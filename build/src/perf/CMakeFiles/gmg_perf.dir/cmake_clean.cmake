@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmg_perf.dir/movement.cpp.o"
+  "CMakeFiles/gmg_perf.dir/movement.cpp.o.d"
+  "CMakeFiles/gmg_perf.dir/profiler.cpp.o"
+  "CMakeFiles/gmg_perf.dir/profiler.cpp.o.d"
+  "CMakeFiles/gmg_perf.dir/rank_report.cpp.o"
+  "CMakeFiles/gmg_perf.dir/rank_report.cpp.o.d"
+  "CMakeFiles/gmg_perf.dir/vcycle_model.cpp.o"
+  "CMakeFiles/gmg_perf.dir/vcycle_model.cpp.o.d"
+  "libgmg_perf.a"
+  "libgmg_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmg_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_movement.dir/test_movement.cpp.o"
+  "CMakeFiles/test_movement.dir/test_movement.cpp.o.d"
+  "test_movement"
+  "test_movement.pdb"
+  "test_movement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_movement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank_report.dir/test_rank_report.cpp.o"
+  "CMakeFiles/test_rank_report.dir/test_rank_report.cpp.o.d"
+  "test_rank_report"
+  "test_rank_report.pdb"
+  "test_rank_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_varcoef.dir/test_varcoef.cpp.o"
+  "CMakeFiles/test_varcoef.dir/test_varcoef.cpp.o.d"
+  "test_varcoef"
+  "test_varcoef.pdb"
+  "test_varcoef[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_varcoef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencilgen.dir/stencilgen.cpp.o"
+  "CMakeFiles/stencilgen.dir/stencilgen.cpp.o.d"
+  "stencilgen"
+  "stencilgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencilgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
