@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "common/options.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/metrics.hpp"
+
 namespace gmg::bench {
 
 namespace {
@@ -103,6 +107,39 @@ arch::ArchSpec calibrated_host(index_t n) {
         static_cast<double>(actual.bytes);
   }
   return host;
+}
+
+std::string parse_trace_out(int argc, const char* const argv[],
+                            const char* program) {
+  Options opts;
+  opts.add_flag("trace-out",
+                "write Chrome trace-event JSON (and a .metrics.json "
+                "sidecar) to this path; load in ui.perfetto.dev");
+  try {
+    opts.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << opts.help(program);
+    std::exit(2);
+  }
+  return opts.has("trace-out") ? opts.get("trace-out") : std::string();
+}
+
+void finish_trace(const std::string& path) {
+  if (path.empty()) return;
+  const trace::Snapshot snap = trace::collect();
+  trace::write_chrome_trace_file(snap, path);
+  std::string metrics_path = path;
+  const std::string json = ".json";
+  if (metrics_path.size() >= json.size() &&
+      metrics_path.compare(metrics_path.size() - json.size(), json.size(),
+                           json) == 0) {
+    metrics_path.resize(metrics_path.size() - json.size());
+  }
+  metrics_path += ".metrics.json";
+  trace::write_metrics_json_file(trace::summarize(snap), metrics_path);
+  std::cout << "\nwrote trace:   " << path
+            << " (load in ui.perfetto.dev or chrome://tracing)\n"
+            << "wrote metrics: " << metrics_path << "\n";
 }
 
 }  // namespace gmg::bench

@@ -38,4 +38,14 @@ double measure_host_kernel(arch::Op op, index_t n, index_t bdim,
 /// Tables III and V columns).
 arch::ArchSpec calibrated_host(index_t n = 64);
 
+/// Parse the shared `--trace-out <path>` flag (empty string when not
+/// given). Unknown flags are an error, matching the Options policy.
+std::string parse_trace_out(int argc, const char* const argv[],
+                            const char* program);
+
+/// When `path` is non-empty: collect the trace accumulated so far and
+/// write the Chrome trace-event JSON to `path` plus the aggregated
+/// metrics sidecar to `path` with ".json" replaced by ".metrics.json".
+void finish_trace(const std::string& path);
+
 }  // namespace gmg::bench

@@ -106,8 +106,11 @@ void measured_host_run() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_out =
+      bench::parse_trace_out(argc, argv, "fig3_level_times");
   modeled_fig3();
   measured_host_run();
+  bench::finish_trace(trace_out);
   return 0;
 }

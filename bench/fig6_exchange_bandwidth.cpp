@@ -14,6 +14,7 @@
 #include "common/ascii_plot.hpp"
 #include "common/table.hpp"
 #include "net/net_model.hpp"
+#include "perf/profiler.hpp"
 #include "perf/vcycle_model.hpp"
 
 using namespace gmg;
@@ -106,12 +107,17 @@ void measured_host_exchange() {
       {comm::BrickExchangeMode::kPacked, "packed"},
       {comm::BrickExchangeMode::kPerBrick, "per-brick"},
   };
+  // Sum over all ranks/configs of the Profiler's kExchange aggregate;
+  // trace_report's "exchange total across ranks" line must agree with
+  // this number (the spans are one and the same measurements).
+  double profiler_exchange_total = 0;
   for (index_t sub : {16, 32, 64}) {
     for (const auto& [mode, mode_name] : modes) {
       const CartDecomp decomp({2 * sub, sub, sub}, {2, 1, 1});
       comm::World world(2);
       double secs = 0;
       std::uint64_t bytes = 0;
+      double exchange_total = 0;
       world.run([&](comm::Communicator& c) {
         BrickedArray f = BrickedArray::create({sub, sub, sub},
                                               BrickShape::cube(8));
@@ -120,15 +126,23 @@ void measured_host_exchange() {
         ex.exchange(c, f);  // warm-up
         c.barrier();
         const int reps = 20;
+        perf::Profiler prof;  // rank-local; emits "exchange" spans
         Timer timer;
-        for (int r = 0; r < reps; ++r) ex.exchange(c, f);
+        for (int r = 0; r < reps; ++r) {
+          prof.timed(0, perf::Phase::kExchange,
+                     [&] { ex.exchange(c, f); });
+        }
         const double local = timer.elapsed() / reps;
         const double worst = c.allreduce_max(local);
+        const double all_ranks =
+            c.allreduce_sum(prof.total(0, perf::Phase::kExchange));
         if (c.rank() == 0) {
           secs = worst;
           bytes = ex.bytes_per_exchange();
+          exchange_total = all_ranks;
         }
       });
+      profiler_exchange_total += exchange_total;
       t.row()
           .cell(std::to_string(sub) + "^3")
           .cell(mode_name)
@@ -138,13 +152,19 @@ void measured_host_exchange() {
     }
   }
   t.print();
+  std::cout << "  Profiler kExchange aggregate across ranks: "
+            << profiler_exchange_total
+            << " s (trace_report's exchange total must match within 5%)\n";
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_out =
+      bench::parse_trace_out(argc, argv, "fig6_exchange_bandwidth");
   modeled_fig6();
   protocol_ablation();
   measured_host_exchange();
+  bench::finish_trace(trace_out);
   return 0;
 }

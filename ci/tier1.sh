@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (ROADMAP.md) plus a sanitizer pass over the
+# concurrency-heavy subsystems:
+#
+#   1. Configure + build + full ctest suite in ./build (the seed's
+#      acceptance command, unchanged).
+#   2. A separate ASan+UBSan tree (./build-asan, bench/examples off)
+#      running the trace recorder and simmpi/exchange tests — the
+#      multi-threaded code where a data race or lifetime bug in the
+#      per-thread ring buffers would hide.
+#
+# Usage: ci/tier1.sh [--skip-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+if [[ "${1:-}" == "--skip-asan" ]]; then
+  echo "== skipping ASan+UBSan pass =="
+  exit 0
+fi
+
+echo "== ASan+UBSan: trace + comm tests =="
+cmake -B build-asan -S . \
+  -DGMG_SANITIZE=ON \
+  -DGMG_ENABLE_BENCH=OFF \
+  -DGMG_ENABLE_EXAMPLES=OFF \
+  -DGMG_NATIVE_ARCH=OFF >/dev/null
+cmake --build build-asan -j"${JOBS}" \
+  --target test_trace test_simmpi test_exchange
+for t in test_trace test_simmpi test_exchange; do
+  echo "-- ${t} (sanitized)"
+  "./build-asan/tests/${t}"
+done
+
+echo "== tier1.sh: all green =="

@@ -4,6 +4,7 @@
 
 #include "common/aligned.hpp"
 #include "common/timer.hpp"
+#include "trace/trace.hpp"
 
 namespace gmg::arch {
 
@@ -129,6 +130,7 @@ namespace {
 /// STREAM-triad-like bandwidth probe: a(i) = b(i) + s*c(i) over a
 /// buffer far larger than LLC; returns GB/s of (2 reads + 1 write).
 double measure_host_bandwidth() {
+  trace::TraceSpan span("arch.calibrate.bandwidth", trace::Category::kModel);
   const std::size_t n = 8u << 20;  // 3 x 64 MiB
   AlignedBuffer<real_t> a(n, false), b(n, false), c(n, false);
   for (std::size_t i = 0; i < n; ++i) {
@@ -153,6 +155,7 @@ double measure_host_bandwidth() {
 /// Parallel-region dispatch overhead: the host analogue of a kernel
 /// launch (an empty omp parallel region round-trip).
 double measure_host_launch_us() {
+  trace::TraceSpan span("arch.calibrate.launch", trace::Category::kModel);
   const int reps = 2000;
   int sink = 0;
   Timer t;

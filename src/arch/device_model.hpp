@@ -17,6 +17,7 @@
 
 #include "arch/arch_spec.hpp"
 #include "arch/kernel_costs.hpp"
+#include "trace/trace.hpp"
 
 namespace gmg::arch {
 
@@ -35,6 +36,7 @@ class DeviceModel {
   /// Wall-clock seconds for one kernel invocation over `points`
   /// stencil points.
   double kernel_time(Op op, double points) const {
+    trace::counter_add("arch.model_evals", 1);
     return spec_->launch_overhead_us * 1e-6 +
            points * bytes_per_point(op) / achieved_bandwidth(op);
   }

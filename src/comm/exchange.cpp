@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "trace/trace.hpp"
+
 namespace gmg::comm {
 
 namespace {
@@ -60,118 +62,164 @@ void BrickExchange::exchange(Communicator& comm,
   const std::size_t vol = static_cast<std::size_t>(shape_.volume());
   const std::size_t brick_bytes = vol * kRealBytes;
 
+  trace::counter_add("exchange.bytes",
+                     bytes_per_exchange_ * fields.size());
+  trace::counter_add("exchange.remote_bytes", remote_bytes_ * fields.size());
+  trace::counter_add("exchange.calls", 1);
+
   std::vector<Request> requests;
   requests.reserve(plans_.size() * 2 * fields.size());
 
   // Post all receives first (the usual MPI_IRecv-before-ISend pattern).
-  for (std::size_t p = 0; p < plans_.size(); ++p) {
-    const DirectionPlan& plan = plans_[p];
-    if (plan.self) continue;
-    const int tag = opposite_direction(plan.dir);
-    switch (mode_) {
-      case BrickExchangeMode::kPackFree: {
-        std::vector<Segment> segs;
-        segs.reserve(fields.size());
-        for (BrickedArray* f : fields) {
-          segs.push_back(Segment{
-              f->brick(plan.recv_range.first),
-              static_cast<std::size_t>(plan.recv_range.count) * brick_bytes});
-        }
-        requests.push_back(comm.irecvv(std::move(segs), plan.neighbor, tag));
-        break;
-      }
-      case BrickExchangeMode::kPacked: {
-        const std::size_t n =
-            static_cast<std::size_t>(plan.recv_range.count) * vol *
-            fields.size();
-        if (recv_staging_[p].size() < n) recv_staging_[p].reset(n, false);
-        requests.push_back(comm.irecv(recv_staging_[p].data(), n * kRealBytes,
-                                      plan.neighbor, tag));
-        break;
-      }
-      case BrickExchangeMode::kPerBrick: {
-        int seq = 0;
-        for (BrickedArray* f : fields) {
-          for (std::int32_t b = 0; b < plan.recv_range.count; ++b) {
-            requests.push_back(
-                comm.irecv(f->brick(plan.recv_range.first + b), brick_bytes,
-                           plan.neighbor, per_brick_tag(tag, seq++)));
+  {
+    trace::TraceSpan span("exchange.recv_post", trace::Category::kComm);
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      const DirectionPlan& plan = plans_[p];
+      if (plan.self) continue;
+      const int tag = opposite_direction(plan.dir);
+      switch (mode_) {
+        case BrickExchangeMode::kPackFree: {
+          std::vector<Segment> segs;
+          segs.reserve(fields.size());
+          for (BrickedArray* f : fields) {
+            segs.push_back(Segment{
+                f->brick(plan.recv_range.first),
+                static_cast<std::size_t>(plan.recv_range.count) *
+                    brick_bytes});
           }
+          requests.push_back(comm.irecvv(std::move(segs), plan.neighbor, tag));
+          break;
         }
-        break;
-      }
-    }
-  }
-
-  // Sends and local periodic copies.
-  for (std::size_t p = 0; p < plans_.size(); ++p) {
-    const DirectionPlan& plan = plans_[p];
-    if (plan.self) {
-      // Periodic wrap onto ourselves: copy surface bricks into our own
-      // ghost range, in matching lexicographic order.
-      for (BrickedArray* f : fields) {
-        std::int32_t dst = plan.recv_range.first;
-        for (const BrickRange& run : plan.send_runs) {
-          std::memcpy(f->brick(dst), f->brick(run.first),
-                      static_cast<std::size_t>(run.count) * brick_bytes);
-          dst += run.count;
+        case BrickExchangeMode::kPacked: {
+          const std::size_t n =
+              static_cast<std::size_t>(plan.recv_range.count) * vol *
+              fields.size();
+          if (recv_staging_[p].size() < n) recv_staging_[p].reset(n, false);
+          requests.push_back(comm.irecv(recv_staging_[p].data(),
+                                        n * kRealBytes, plan.neighbor, tag));
+          break;
         }
-      }
-      continue;
-    }
-    const int tag = plan.dir;
-    switch (mode_) {
-      case BrickExchangeMode::kPackFree: {
-        std::vector<ConstSegment> segs;
-        for (BrickedArray* f : fields) {
-          for (const BrickRange& run : plan.send_runs) {
-            segs.emplace_back(
-                f->brick(run.first),
-                static_cast<std::size_t>(run.count) * brick_bytes);
-          }
-        }
-        requests.push_back(comm.isendv(std::move(segs), plan.neighbor, tag));
-        break;
-      }
-      case BrickExchangeMode::kPacked: {
-        std::size_t total = 0;
-        for (const BrickRange& run : plan.send_runs)
-          total += static_cast<std::size_t>(run.count) * vol;
-        total *= fields.size();
-        if (send_staging_[p].size() < total)
-          send_staging_[p].reset(total, false);
-        real_t* dst = send_staging_[p].data();
-        for (BrickedArray* f : fields) {
-          for (const BrickRange& run : plan.send_runs) {
-            std::memcpy(dst, f->brick(run.first),
-                        static_cast<std::size_t>(run.count) * brick_bytes);
-            dst += static_cast<std::size_t>(run.count) * vol;
-          }
-        }
-        requests.push_back(comm.isend(send_staging_[p].data(),
-                                      total * kRealBytes, plan.neighbor, tag));
-        break;
-      }
-      case BrickExchangeMode::kPerBrick: {
-        int seq = 0;
-        for (BrickedArray* f : fields) {
-          for (const BrickRange& run : plan.send_runs) {
-            for (std::int32_t b = 0; b < run.count; ++b) {
-              requests.push_back(comm.isend(f->brick(run.first + b),
-                                            brick_bytes, plan.neighbor,
-                                            per_brick_tag(tag, seq++)));
+        case BrickExchangeMode::kPerBrick: {
+          int seq = 0;
+          for (BrickedArray* f : fields) {
+            for (std::int32_t b = 0; b < plan.recv_range.count; ++b) {
+              requests.push_back(
+                  comm.irecv(f->brick(plan.recv_range.first + b), brick_bytes,
+                             plan.neighbor, per_brick_tag(tag, seq++)));
             }
           }
+          break;
         }
-        break;
       }
     }
   }
 
-  comm.wait_all(requests);
+  // Pack: local periodic copies (all modes), staging-buffer gathers
+  // (kPacked), and the scatter/gather segment lists (kPackFree — no
+  // data motion, just descriptors: the packing-free claim).
+  std::vector<std::vector<ConstSegment>> send_segs(plans_.size());
+  {
+    trace::TraceSpan span("exchange.pack", trace::Category::kComm);
+    std::uint64_t packed_bytes = 0;
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      const DirectionPlan& plan = plans_[p];
+      if (plan.self) {
+        // Periodic wrap onto ourselves: copy surface bricks into our
+        // own ghost range, in matching lexicographic order.
+        for (BrickedArray* f : fields) {
+          std::int32_t dst = plan.recv_range.first;
+          for (const BrickRange& run : plan.send_runs) {
+            std::memcpy(f->brick(dst), f->brick(run.first),
+                        static_cast<std::size_t>(run.count) * brick_bytes);
+            dst += run.count;
+          }
+        }
+        continue;
+      }
+      switch (mode_) {
+        case BrickExchangeMode::kPackFree: {
+          std::vector<ConstSegment>& segs = send_segs[p];
+          for (BrickedArray* f : fields) {
+            for (const BrickRange& run : plan.send_runs) {
+              segs.emplace_back(
+                  f->brick(run.first),
+                  static_cast<std::size_t>(run.count) * brick_bytes);
+            }
+          }
+          break;
+        }
+        case BrickExchangeMode::kPacked: {
+          std::size_t total = 0;
+          for (const BrickRange& run : plan.send_runs)
+            total += static_cast<std::size_t>(run.count) * vol;
+          total *= fields.size();
+          if (send_staging_[p].size() < total)
+            send_staging_[p].reset(total, false);
+          real_t* dst = send_staging_[p].data();
+          for (BrickedArray* f : fields) {
+            for (const BrickRange& run : plan.send_runs) {
+              std::memcpy(dst, f->brick(run.first),
+                          static_cast<std::size_t>(run.count) * brick_bytes);
+              dst += static_cast<std::size_t>(run.count) * vol;
+            }
+          }
+          packed_bytes += total * kRealBytes;
+          break;
+        }
+        case BrickExchangeMode::kPerBrick:
+          break;  // sends straight from brick storage
+      }
+    }
+    if (packed_bytes) trace::counter_add("exchange.bytes_packed", packed_bytes);
+  }
+
+  // Send.
+  {
+    trace::TraceSpan span("exchange.send", trace::Category::kComm);
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      const DirectionPlan& plan = plans_[p];
+      if (plan.self) continue;
+      const int tag = plan.dir;
+      switch (mode_) {
+        case BrickExchangeMode::kPackFree:
+          requests.push_back(
+              comm.isendv(std::move(send_segs[p]), plan.neighbor, tag));
+          break;
+        case BrickExchangeMode::kPacked: {
+          std::size_t total = 0;
+          for (const BrickRange& run : plan.send_runs)
+            total += static_cast<std::size_t>(run.count) * vol;
+          total *= fields.size();
+          requests.push_back(comm.isend(send_staging_[p].data(),
+                                        total * kRealBytes, plan.neighbor,
+                                        tag));
+          break;
+        }
+        case BrickExchangeMode::kPerBrick: {
+          int seq = 0;
+          for (BrickedArray* f : fields) {
+            for (const BrickRange& run : plan.send_runs) {
+              for (std::int32_t b = 0; b < run.count; ++b) {
+                requests.push_back(comm.isend(f->brick(run.first + b),
+                                              brick_bytes, plan.neighbor,
+                                              per_brick_tag(tag, seq++)));
+              }
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  {
+    trace::TraceSpan span("exchange.wait", trace::Category::kWait);
+    comm.wait_all(requests);
+  }
 
   // kPacked: unpack staged receives into the ghost ranges.
   if (mode_ == BrickExchangeMode::kPacked) {
+    trace::TraceSpan span("exchange.unpack", trace::Category::kComm);
     for (std::size_t p = 0; p < plans_.size(); ++p) {
       const DirectionPlan& plan = plans_[p];
       if (plan.self) continue;
@@ -218,49 +266,84 @@ ArrayExchange::ArrayExchange(Vec3 subdomain_extent, index_t ghost_depth,
 void ArrayExchange::exchange(Communicator& comm, Array3D& field) {
   GMG_REQUIRE(field.extent() == extent_ && field.ghost() >= ghost_,
               "field does not match this exchange plan");
+  trace::counter_add("exchange.bytes", bytes_per_exchange_);
+  trace::counter_add("exchange.remote_bytes", remote_bytes_);
+  trace::counter_add("exchange.calls", 1);
+
   std::vector<Request> requests;
   requests.reserve(plans_.size() * 2);
 
-  for (std::size_t p = 0; p < plans_.size(); ++p) {
-    const DirectionPlan& plan = plans_[p];
-    if (plan.self) continue;
-    const std::size_t n = static_cast<std::size_t>(plan.recv_region.volume());
-    if (recv_staging_[p].size() < n) recv_staging_[p].reset(n, false);
-    requests.push_back(comm.irecv(recv_staging_[p].data(), n * kRealBytes,
-                                  plan.neighbor,
-                                  opposite_direction(plan.dir)));
-  }
-
-  for (std::size_t p = 0; p < plans_.size(); ++p) {
-    const DirectionPlan& plan = plans_[p];
-    if (plan.self) {
-      // Periodic wrap onto ourselves: ghost cell <- interior cell
-      // shifted by one subdomain extent along the wrapped axes.
-      const Vec3 off = direction_offset(plan.dir);
-      const Vec3 shiftv{-off.x * extent_.x, -off.y * extent_.y,
-                        -off.z * extent_.z};
-      for_each(plan.recv_region, [&](index_t i, index_t j, index_t k) {
-        field(i, j, k) = field(i + shiftv.x, j + shiftv.y, k + shiftv.z);
-      });
-      continue;
+  {
+    trace::TraceSpan span("exchange.recv_post", trace::Category::kComm);
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      const DirectionPlan& plan = plans_[p];
+      if (plan.self) continue;
+      const std::size_t n =
+          static_cast<std::size_t>(plan.recv_region.volume());
+      if (recv_staging_[p].size() < n) recv_staging_[p].reset(n, false);
+      requests.push_back(comm.irecv(recv_staging_[p].data(), n * kRealBytes,
+                                    plan.neighbor,
+                                    opposite_direction(plan.dir)));
     }
-    const std::size_t n = static_cast<std::size_t>(plan.send_region.volume());
-    if (send_staging_[p].size() < n) send_staging_[p].reset(n, false);
-    real_t* dst = send_staging_[p].data();
-    for_each(plan.send_region,
-             [&](index_t i, index_t j, index_t k) { *dst++ = field(i, j, k); });
-    requests.push_back(comm.isend(send_staging_[p].data(), n * kRealBytes,
-                                  plan.neighbor, plan.dir));
   }
 
-  comm.wait_all(requests);
+  // Element-wise pack (the conventional approach the brick layout
+  // eliminates) plus periodic self-copies.
+  {
+    trace::TraceSpan span("exchange.pack", trace::Category::kComm);
+    std::uint64_t packed_bytes = 0;
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      const DirectionPlan& plan = plans_[p];
+      if (plan.self) {
+        // Periodic wrap onto ourselves: ghost cell <- interior cell
+        // shifted by one subdomain extent along the wrapped axes.
+        const Vec3 off = direction_offset(plan.dir);
+        const Vec3 shiftv{-off.x * extent_.x, -off.y * extent_.y,
+                          -off.z * extent_.z};
+        for_each(plan.recv_region, [&](index_t i, index_t j, index_t k) {
+          field(i, j, k) = field(i + shiftv.x, j + shiftv.y, k + shiftv.z);
+        });
+        continue;
+      }
+      const std::size_t n =
+          static_cast<std::size_t>(plan.send_region.volume());
+      if (send_staging_[p].size() < n) send_staging_[p].reset(n, false);
+      real_t* dst = send_staging_[p].data();
+      for_each(plan.send_region, [&](index_t i, index_t j, index_t k) {
+        *dst++ = field(i, j, k);
+      });
+      packed_bytes += n * kRealBytes;
+    }
+    if (packed_bytes) trace::counter_add("exchange.bytes_packed", packed_bytes);
+  }
 
-  for (std::size_t p = 0; p < plans_.size(); ++p) {
-    const DirectionPlan& plan = plans_[p];
-    if (plan.self) continue;
-    const real_t* src = recv_staging_[p].data();
-    for_each(plan.recv_region,
-             [&](index_t i, index_t j, index_t k) { field(i, j, k) = *src++; });
+  {
+    trace::TraceSpan span("exchange.send", trace::Category::kComm);
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      const DirectionPlan& plan = plans_[p];
+      if (plan.self) continue;
+      const std::size_t n =
+          static_cast<std::size_t>(plan.send_region.volume());
+      requests.push_back(comm.isend(send_staging_[p].data(), n * kRealBytes,
+                                    plan.neighbor, plan.dir));
+    }
+  }
+
+  {
+    trace::TraceSpan span("exchange.wait", trace::Category::kWait);
+    comm.wait_all(requests);
+  }
+
+  {
+    trace::TraceSpan span("exchange.unpack", trace::Category::kComm);
+    for (std::size_t p = 0; p < plans_.size(); ++p) {
+      const DirectionPlan& plan = plans_[p];
+      if (plan.self) continue;
+      const real_t* src = recv_staging_[p].data();
+      for_each(plan.recv_region, [&](index_t i, index_t j, index_t k) {
+        field(i, j, k) = *src++;
+      });
+    }
   }
 }
 

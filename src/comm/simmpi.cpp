@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "trace/trace.hpp"
+
 namespace gmg::comm {
 namespace detail {
 
@@ -134,10 +136,13 @@ int Communicator::size() const { return world_->nranks; }
 Request Communicator::isendv(std::vector<ConstSegment> segments, int dest,
                              int tag) {
   GMG_REQUIRE(dest >= 0 && dest < world_->nranks, "invalid destination rank");
+  trace::TraceSpan span("mpi.isend", trace::Category::kComm);
   auto state = std::make_shared<detail::RequestState>();
   const std::size_t bytes = detail::total_bytes(segments);
   bytes_sent_ += bytes;
   ++messages_sent_;
+  trace::counter_add("mpi.bytes_sent", bytes);
+  trace::counter_add("mpi.messages_sent", 1);
 
   std::lock_guard<std::mutex> lock(world_->mu);
   detail::Mailbox& box = world_->mailboxes[static_cast<size_t>(dest)];
@@ -173,6 +178,7 @@ Request Communicator::irecvv(std::vector<Segment> segments, int source,
   GMG_REQUIRE(source == kAnySource ||
                   (source >= 0 && source < world_->nranks),
               "invalid source rank");
+  trace::TraceSpan span("mpi.irecv", trace::Category::kComm);
   auto state = std::make_shared<detail::RequestState>();
   const std::size_t bytes = detail::total_bytes(segments);
 
@@ -204,6 +210,7 @@ void Communicator::wait(Request& request) {
 }
 
 void Communicator::wait_all(std::span<Request> requests) {
+  trace::TraceSpan span("mpi.wait_all", trace::Category::kWait);
   std::unique_lock<std::mutex> lock(world_->mu);
   for (Request& r : requests) {
     if (!r.valid()) continue;
@@ -212,6 +219,7 @@ void Communicator::wait_all(std::span<Request> requests) {
 }
 
 void Communicator::barrier() {
+  trace::TraceSpan span("mpi.barrier", trace::Category::kWait);
   std::unique_lock<std::mutex> lock(world_->mu);
   const std::uint64_t gen = world_->barrier_gen;
   if (++world_->barrier_count == world_->nranks) {
@@ -227,6 +235,8 @@ void Communicator::barrier() {
 namespace {
 template <typename Combine>
 double reduce_impl(WorldState* w, int, double v, Combine combine) {
+  trace::TraceSpan span("mpi.allreduce", trace::Category::kWait);
+  trace::counter_add("mpi.allreduce_calls", 1);
   std::unique_lock<std::mutex> lock(w->mu);
   const std::uint64_t gen = w->reduce_gen;
   if (w->reduce_count == 0) {
@@ -257,6 +267,7 @@ double Communicator::allreduce_sum(double v) {
 }
 
 std::vector<double> Communicator::allgather(double v) {
+  trace::TraceSpan span("mpi.allgather", trace::Category::kWait);
   std::unique_lock<std::mutex> lock(world_->mu);
   const std::uint64_t gen = world_->gather_gen;
   world_->gather_buf[static_cast<size_t>(rank_)] = v;
@@ -297,6 +308,9 @@ void World::run(const std::function<void(Communicator&)>& fn) {
   threads.reserve(static_cast<size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
+      // Tag every event this rank thread records with its rank, so
+      // trace sinks render one timeline pid per simulated rank.
+      trace::set_rank(r);
       try {
         fn(comms[static_cast<size_t>(r)]);
       } catch (...) {

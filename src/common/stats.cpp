@@ -5,6 +5,10 @@
 namespace gmg {
 
 std::string RunningStats::summary() const {
+  // Zero samples must render (not divide by zero or print ±inf
+  // min/max): operations can legitimately be queried at levels that
+  // never ran.
+  if (count() == 0) return "[no samples] (σ: 0)";
   std::ostringstream os;
   os.precision(6);
   os << '[' << min() << ", " << mean() << ", " << max() << "] (σ: "

@@ -5,10 +5,21 @@
 
 #include "dsl/apply_brick.hpp"
 #include "dsl/stencils.hpp"
+#include "trace/trace.hpp"
 
 namespace gmg {
 
 namespace {
+
+/// Tally a kernel's floating-point work so the trace metrics sink can
+/// report achieved flop counts next to the measured span durations.
+inline void count_flops(std::uint64_t pts, std::uint64_t flops_per_pt) {
+  trace::counter_add("gmg.flops", pts * flops_per_pt);
+}
+
+inline std::uint64_t box_points(const Box& b) {
+  return static_cast<std::uint64_t>(b.volume());
+}
 
 /// Visit the contiguous rows of `active` clipped to each brick:
 /// fn(flat_base_index, ilo, ihi) where the row occupies
@@ -174,6 +185,9 @@ void apply_op_7pt(BD, BrickedArray& Ax, const BrickedArray& x, real_t alpha,
 
 void apply_op(BrickedArray& Ax, const BrickedArray& x, real_t alpha,
               real_t beta, const Box& active) {
+  // 7-point star: 2 multiplies + 6 adds per output cell.
+  trace::TraceSpan span("kernel.applyOp");
+  count_flops(box_points(active), 8);
   with_brick_dims(x.shape(), [&](auto bd) {
     apply_op_7pt(bd, Ax, x, alpha, beta, active);
   });
@@ -181,6 +195,8 @@ void apply_op(BrickedArray& Ax, const BrickedArray& x, real_t alpha,
 
 void smooth(BrickedArray& x, const BrickedArray& Ax, const BrickedArray& b,
             real_t gamma, const Box& active) {
+  trace::TraceSpan span("kernel.smooth");
+  count_flops(box_points(active), 3);
   with_brick_dims(x.shape(), [&](auto bd) {
     real_t* __restrict xp = x.data();
     const real_t* __restrict axp = Ax.data();
@@ -197,6 +213,8 @@ void smooth(BrickedArray& x, const BrickedArray& Ax, const BrickedArray& b,
 
 void smooth_residual(BrickedArray& x, BrickedArray& r, const BrickedArray& Ax,
                      const BrickedArray& b, real_t gamma, const Box& active) {
+  trace::TraceSpan span("kernel.smoothResidual");
+  count_flops(box_points(active), 4);
   with_brick_dims(x.shape(), [&](auto bd) {
     real_t* __restrict xp = x.data();
     real_t* __restrict rp = r.data();
@@ -217,6 +235,8 @@ void smooth_residual(BrickedArray& x, BrickedArray& r, const BrickedArray& Ax,
 
 void residual(BrickedArray& r, const BrickedArray& b, const BrickedArray& Ax,
               const Box& active) {
+  trace::TraceSpan span("kernel.residual");
+  count_flops(box_points(active), 1);
   with_brick_dims(r.shape(), [&](auto bd) {
     real_t* __restrict rp = r.data();
     const real_t* __restrict axp = Ax.data();
@@ -235,6 +255,9 @@ void restriction(BrickedArray& coarse, const BrickedArray& fine) {
   const Vec3 fe = fine.extent(), ce = coarse.extent();
   GMG_REQUIRE(fe.x == 2 * ce.x && fe.y == 2 * ce.y && fe.z == 2 * ce.z,
               "fine extent must be twice the coarse extent");
+  // Full-weighting of a 2x2x2 cell block: 7 adds + 1 multiply.
+  trace::TraceSpan span("kernel.restriction");
+  count_flops(static_cast<std::uint64_t>(ce.x) * ce.y * ce.z, 8);
   GMG_REQUIRE(fine.shape() == coarse.shape(),
               "restriction assumes equal brick shapes on both levels");
   with_brick_dims(fine.shape(), [&](auto bd) {
@@ -286,6 +309,8 @@ void interpolation_increment(BrickedArray& fine, const BrickedArray& coarse) {
   const Vec3 fe = fine.extent(), ce = coarse.extent();
   GMG_REQUIRE(fe.x == 2 * ce.x && fe.y == 2 * ce.y && fe.z == 2 * ce.z,
               "fine extent must be twice the coarse extent");
+  trace::TraceSpan span("kernel.interpIncrement");
+  count_flops(static_cast<std::uint64_t>(fe.x) * fe.y * fe.z, 1);
   GMG_REQUIRE(fine.shape() == coarse.shape(),
               "interpolation assumes equal brick shapes on both levels");
   with_brick_dims(fine.shape(), [&](auto bd) {
@@ -329,6 +354,10 @@ void interpolation_increment(BrickedArray& fine, const BrickedArray& coarse) {
 void gs_color_sweep(BrickedArray& x, const BrickedArray& b, real_t alpha,
                     real_t beta, int color, Vec3 origin, const Box& active) {
   GMG_REQUIRE(color == 0 || color == 1, "color must be 0 (red) or 1 (black)");
+  // One checkerboard color updates half the cells; ~9 flops each
+  // (6 adds, 1 multiply, 1 subtract, 1 divide).
+  trace::TraceSpan span("kernel.gsColorSweep");
+  count_flops(box_points(active) / 2, 9);
   with_brick_dims(x.shape(), [&](auto bd) {
     using BD = decltype(bd);
     const BrickGrid& grid = x.grid();

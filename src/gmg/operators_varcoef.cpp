@@ -2,10 +2,17 @@
 
 #include "dsl/apply_brick.hpp"
 #include "dsl/stencils.hpp"
+#include "trace/trace.hpp"
 
 namespace gmg {
 
 namespace {
+
+inline void count_flops_vc(const Box& active, std::uint64_t flops_per_pt) {
+  trace::counter_add("gmg.flops",
+                     static_cast<std::uint64_t>(active.volume()) *
+                         flops_per_pt);
+}
 
 /// Row visitor shared by the pointwise variable-coefficient kernels
 /// (same shape as the one in operators.cpp, duplicated to keep both
@@ -51,6 +58,10 @@ void for_each_row_vc(BD, const BrickGrid& grid, const Box& active, Fn&& fn) {
 void apply_op_varcoef(BrickedArray& Ax, const BrickedArray& x,
                       const BrickedArray& beta, real_t identity_coef,
                       real_t h, const Box& active) {
+  // Six face fluxes: 2 adds + 1 sub + 1 mul each, plus the identity
+  // term and flux sum — ~26 flops per output cell.
+  trace::TraceSpan span("kernel.applyOpVarCoef");
+  count_flops_vc(active, 26);
   using namespace dsl;
   Grid<0> X;
   Grid<1> B;
@@ -87,6 +98,8 @@ void smooth_residual_varcoef(BrickedArray& x, BrickedArray& r,
                              const BrickedArray& Ax, const BrickedArray& b,
                              const BrickedArray& diag, real_t omega,
                              const Box& active) {
+  trace::TraceSpan span("kernel.smoothResidualVarCoef");
+  count_flops_vc(active, 6);
   with_brick_dims(x.shape(), [&](auto bd) {
     real_t* __restrict xp = x.data();
     real_t* __restrict rp = r.data();
@@ -109,6 +122,8 @@ void smooth_residual_varcoef(BrickedArray& x, BrickedArray& r,
 void smooth_varcoef(BrickedArray& x, const BrickedArray& Ax,
                     const BrickedArray& b, const BrickedArray& diag,
                     real_t omega, const Box& active) {
+  trace::TraceSpan span("kernel.smoothVarCoef");
+  count_flops_vc(active, 5);
   with_brick_dims(x.shape(), [&](auto bd) {
     real_t* __restrict xp = x.data();
     const real_t* __restrict axp = Ax.data();

@@ -9,6 +9,7 @@
 #include "dsl/generated/laplacian_7pt_gen.hpp"
 #include "dsl/generated/star_13pt_gen.hpp"
 #include "gmg/operators_varcoef.hpp"
+#include "trace/trace.hpp"
 
 namespace gmg {
 
@@ -409,9 +410,15 @@ void GmgSolver::cycle_at(comm::Communicator& comm, int l) {
   smooth_level(comm, lev, opts_.smooths, /*with_residual=*/true);
 }
 
-void GmgSolver::vcycle(comm::Communicator& comm) { cycle_at(comm, 0); }
+void GmgSolver::vcycle(comm::Communicator& comm) {
+  // Umbrella span so the timeline shows cycle boundaries around the
+  // per-phase spans Profiler::timed emits.
+  trace::TraceSpan span("gmg.vcycle");
+  cycle_at(comm, 0);
+}
 
 void GmgSolver::fmg(comm::Communicator& comm) {
+  trace::TraceSpan span("gmg.fmg");
   const int bottom = bottom_level();
   // Restrict the RHS itself down the hierarchy.
   for (int l = 0; l < bottom; ++l) {

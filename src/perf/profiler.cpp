@@ -7,6 +7,12 @@
 namespace gmg::perf {
 
 const char* phase_name(Phase p) {
+  // Exhaustive: adding a Phase without naming it must fail to compile
+  // (no default case, so -Wswitch flags the omission) and the
+  // static_assert pins the count this switch was written against.
+  static_assert(static_cast<int>(Phase::kCount) == 10,
+                "Phase enum changed: update phase_name and "
+                "phase_from_name");
   switch (p) {
     case Phase::kExchange:
       return "exchange";
@@ -28,9 +34,35 @@ const char* phase_name(Phase p) {
       return "maxNorm";
     case Phase::kBottomSolve:
       return "bottomSolve";
-    default:
-      return "?";
+    case Phase::kCount:
+      break;
   }
+  return "?";
+}
+
+bool phase_from_name(std::string_view name, Phase& out) {
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+    if (name == phase_name(static_cast<Phase>(p))) {
+      out = static_cast<Phase>(p);
+      return true;
+    }
+  }
+  return false;
+}
+
+trace::Category phase_category(Phase p) {
+  return p == Phase::kExchange ? trace::Category::kComm
+                               : trace::Category::kCompute;
+}
+
+Profiler Profiler::from_trace(const trace::Snapshot& snap) {
+  Profiler prof;
+  for (const trace::SpanRecord& s : snap.spans) {
+    Phase phase;
+    if (s.level >= 0 && phase_from_name(s.name, phase))
+      prof.record(s.level, phase, s.seconds());
+  }
+  return prof;
 }
 
 const RunningStats& Profiler::stats(int level, Phase phase) const {

@@ -1,14 +1,23 @@
-// Per-(level, operation) timing instrumentation, reported in the
+// Per-(level, operation) timing aggregates, reported in the
 // artifact's output format:
 //   level 0 applyOp [0.265012, 0.265184, 0.265346] (σ: 9.2e-05)
+//
+// Since the src/trace subsystem landed, the Profiler is a thin
+// consumer of trace measurements: timed() opens a trace::TraceSpan
+// (which puts the operation on the shared per-rank timeline) and
+// records the *same* span duration into its running stats, so the
+// timeline, the trace aggregates, and this report all share one
+// source of timing truth. from_trace() rebuilds a Profiler purely
+// from a collected snapshot.
 #pragma once
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/stats.hpp"
-#include "common/timer.hpp"
+#include "trace/trace.hpp"
 
 namespace gmg::perf {
 
@@ -29,19 +38,30 @@ enum class Phase : int {
 
 const char* phase_name(Phase p);
 
+/// Reverse lookup; returns false when `name` is no phase.
+bool phase_from_name(std::string_view name, Phase& out);
+
+/// Trace category a phase renders under (kExchange blocks on peers).
+trace::Category phase_category(Phase p);
+
 class Profiler {
  public:
   void record(int level, Phase phase, double seconds) {
     stats_[{level, phase}].add(seconds);
   }
 
-  /// Time one callable and record it.
+  /// Time one callable: emit a trace span for the timeline and record
+  /// the identical duration into the aggregate.
   template <typename Fn>
   void timed(int level, Phase phase, Fn&& fn) {
-    Timer t;
+    trace::TraceSpan span(phase_name(phase), phase_category(phase), level);
     fn();
-    record(level, phase, t.elapsed());
+    record(level, phase, span.close());
   }
+
+  /// Rebuild the per-(level, phase) aggregate from a trace snapshot's
+  /// levelled spans (inverse of timed()'s emission).
+  static Profiler from_trace(const trace::Snapshot& snap);
 
   const RunningStats& stats(int level, Phase phase) const;
   bool has(int level, Phase phase) const {

@@ -1,0 +1,431 @@
+#include "trace/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gmg::trace {
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Microseconds with nanosecond resolution, printed as a fixed-point
+/// decimal so the reader reconstructs the exact nanosecond value.
+void write_us(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.';
+  const auto frac = ns % 1000;
+  os << char('0' + frac / 100) << char('0' + frac / 10 % 10)
+     << char('0' + frac % 10);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough for the trace-event schema the
+// writer above emits. Recursive descent over an in-memory string.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::shared_ptr<JsonArray> arr;
+  std::shared_ptr<JsonObject> obj;
+
+  bool is_object() const { return type == Type::kObject; }
+  const JsonValue* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    auto it = obj->find(key);
+    return it == obj->end() ? nullptr : &it->second;
+  }
+  double number_or(double fallback) const {
+    return type == Type::kNumber ? num : fallback;
+  }
+  std::string string_or(const std::string& fallback) const {
+    return type == Type::kString ? str : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    GMG_REQUIRE(pos_ == s_.size(), "trace JSON: trailing garbage");
+    return v;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("trace JSON parse error at byte " + std::to_string(pos_) +
+                ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::kString;
+        v.str = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f':
+        return parse_literal_bool();
+      case 'n':
+        expect_word("null");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  void expect_word(std::string_view w) {
+    skip_ws();
+    GMG_REQUIRE(s_.substr(pos_, w.size()) == w,
+                "trace JSON: bad literal");
+    pos_ += w.size();
+  }
+
+  JsonValue parse_literal_bool() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (peek() == 't') {
+      expect_word("true");
+      v.b = true;
+    } else {
+      expect_word("false");
+      v.b = false;
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected a number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.num = std::stod(std::string(s_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            GMG_REQUIRE(pos_ + 4 <= s_.size(), "bad \\u escape");
+            const unsigned code = static_cast<unsigned>(
+                std::stoul(std::string(s_.substr(pos_, 4)), nullptr, 16));
+            pos_ += 4;
+            // The writer only emits \u for control chars; decode the
+            // BMP subset as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    v.arr = std::make_shared<JsonArray>();
+    if (consume(']')) return v;
+    while (true) {
+      v.arr->push_back(parse_value());
+      if (consume(']')) break;
+      expect(',');
+    }
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    v.obj = std::make_shared<JsonObject>();
+    if (consume('}')) return v;
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      (*v.obj)[std::move(key)] = parse_value();
+      if (consume('}')) break;
+      expect(',');
+    }
+    return v;
+  }
+};
+
+std::uint64_t us_to_ns(double us) {
+  return us <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(us * 1000.0));
+}
+
+}  // namespace
+
+void write_chrome_trace(const Snapshot& snap, std::ostream& os) {
+  std::uint64_t origin = std::numeric_limits<std::uint64_t>::max();
+  for (const SpanRecord& s : snap.spans) origin = std::min(origin, s.t0_ns);
+  if (snap.spans.empty()) origin = 0;
+
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":"
+     << snap.dropped << "},\n\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    os << "\n";
+    first = false;
+  };
+
+  // Process/thread naming metadata: one pid per simulated rank.
+  std::set<int> ranks;
+  std::set<std::pair<int, int>> rank_tids;
+  for (const SpanRecord& s : snap.spans) {
+    ranks.insert(s.rank);
+    rank_tids.insert({s.rank, s.tid});
+  }
+  for (const CounterTotal& c : snap.counters) ranks.insert(c.rank);
+  for (int r : ranks) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << r
+       << ",\"name\":\"process_name\",\"args\":{\"name\":\"rank " << r
+       << "\"}}";
+  }
+  for (const auto& [r, tid] : rank_tids) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << r << ",\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"thread " << tid
+       << "\"}}";
+  }
+
+  std::uint64_t end_ns = 0;
+  for (const SpanRecord& s : snap.spans) {
+    end_ns = std::max(end_ns, s.t1_ns() - origin);
+    sep();
+    os << "{\"ph\":\"X\",\"name\":";
+    write_escaped(os, s.name);
+    os << ",\"cat\":\"" << category_name(s.cat) << "\",\"pid\":" << s.rank
+       << ",\"tid\":" << s.tid << ",\"ts\":";
+    write_us(os, s.t0_ns - origin);
+    os << ",\"dur\":";
+    write_us(os, s.dur_ns);
+    if (s.level >= 0) os << ",\"args\":{\"level\":" << s.level << "}";
+    os << "}";
+  }
+
+  // Counter totals as one "C" sample per (name, rank) at the end of
+  // the timeline.
+  for (const CounterTotal& c : snap.counters) {
+    sep();
+    os << "{\"ph\":\"C\",\"name\":";
+    write_escaped(os, c.name);
+    os << ",\"pid\":" << c.rank << ",\"ts\":";
+    write_us(os, end_ns);
+    os << ",\"args\":{\"value\":" << c.value << "}}";
+  }
+  os << "\n]}\n";
+}
+
+void write_chrome_trace_file(const Snapshot& snap, const std::string& path) {
+  std::ofstream os(path);
+  GMG_REQUIRE(os.good(), "cannot open trace output file '" + path + "'");
+  write_chrome_trace(snap, os);
+  GMG_REQUIRE(os.good(), "failed writing trace output file '" + path + "'");
+}
+
+Snapshot read_chrome_trace(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  const JsonValue doc = JsonParser(text).parse();
+  GMG_REQUIRE(doc.is_object(), "trace JSON: top level must be an object");
+
+  Snapshot snap;
+  if (const JsonValue* other = doc.find("otherData")) {
+    if (const JsonValue* d = other->find("droppedEvents"))
+      snap.dropped = static_cast<std::uint64_t>(d->number_or(0));
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  GMG_REQUIRE(events != nullptr &&
+                  events->type == JsonValue::Type::kArray,
+              "trace JSON: missing traceEvents array");
+
+  for (const JsonValue& ev : *events->arr) {
+    if (!ev.is_object()) continue;
+    const JsonValue* ph = ev.find("ph");
+    const std::string kind = ph ? ph->string_or("") : "";
+    if (kind == "X") {
+      SpanRecord s;
+      if (const JsonValue* v = ev.find("name")) s.name = v->string_or("");
+      if (const JsonValue* v = ev.find("cat"))
+        s.cat = category_from_name(v->string_or("other"));
+      if (const JsonValue* v = ev.find("pid"))
+        s.rank = static_cast<int>(v->number_or(0));
+      if (const JsonValue* v = ev.find("tid"))
+        s.tid = static_cast<int>(v->number_or(0));
+      if (const JsonValue* v = ev.find("ts")) s.t0_ns = us_to_ns(v->num);
+      if (const JsonValue* v = ev.find("dur")) s.dur_ns = us_to_ns(v->num);
+      if (const JsonValue* args = ev.find("args"))
+        if (const JsonValue* v = args->find("level"))
+          s.level = static_cast<int>(v->number_or(-1));
+      snap.spans.push_back(std::move(s));
+    } else if (kind == "C") {
+      CounterTotal c;
+      if (const JsonValue* v = ev.find("name")) c.name = v->string_or("");
+      if (const JsonValue* v = ev.find("pid"))
+        c.rank = static_cast<int>(v->number_or(0));
+      if (const JsonValue* args = ev.find("args"))
+        if (const JsonValue* v = args->find("value"))
+          c.value = static_cast<std::uint64_t>(v->number_or(0));
+      snap.counters.push_back(std::move(c));
+    }
+    // "M" metadata and unknown phases are ignored.
+  }
+
+  std::sort(snap.spans.begin(), snap.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+              return a.dur_ns > b.dur_ns;
+            });
+  return snap;
+}
+
+Snapshot read_chrome_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  GMG_REQUIRE(is.good(), "cannot open trace file '" + path + "'");
+  return read_chrome_trace(is);
+}
+
+}  // namespace gmg::trace

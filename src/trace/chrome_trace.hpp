@@ -1,0 +1,31 @@
+// Sink 1: Chrome trace-event JSON (the "JSON Array with metadata"
+// flavor), loadable in chrome://tracing and Perfetto. Each simulated
+// rank renders as its own pid so exchange overlap and rank skew are
+// visible on one shared timeline; spans are "X" (complete) events with
+// microsecond timestamps relative to the earliest span, counters are
+// "C" events carrying the final totals.
+//
+// read_chrome_trace() parses exactly what write_chrome_trace() emits
+// (plus tolerating unknown keys), so traces round-trip through
+// tools/trace_report and tests can verify the format end to end.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace gmg::trace {
+
+void write_chrome_trace(const Snapshot& snap, std::ostream& os);
+
+/// Write to `path`; throws gmg::Error if the file cannot be opened.
+void write_chrome_trace_file(const Snapshot& snap, const std::string& path);
+
+/// Parse a trace-event JSON document back into a snapshot (timestamps
+/// become nanoseconds relative to the file's origin). Throws
+/// gmg::Error on malformed JSON.
+Snapshot read_chrome_trace(std::istream& is);
+Snapshot read_chrome_trace_file(const std::string& path);
+
+}  // namespace gmg::trace

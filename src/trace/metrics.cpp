@@ -1,0 +1,102 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace gmg::trace {
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+const SpanStats* MetricsSummary::find(std::string_view name) const {
+  for (const SpanStats& s : spans)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+MetricsSummary summarize(const Snapshot& snap) {
+  MetricsSummary out;
+  out.dropped = snap.dropped;
+
+  std::map<std::string, std::pair<Category, std::vector<double>>> by_name;
+  for (const SpanRecord& s : snap.spans) {
+    auto& slot = by_name[s.name];
+    slot.first = s.cat;
+    slot.second.push_back(s.seconds());
+  }
+  for (auto& [name, slot] : by_name) {
+    auto& durs = slot.second;
+    std::sort(durs.begin(), durs.end());
+    SpanStats st;
+    st.name = name;
+    st.cat = slot.first;
+    st.count = durs.size();
+    st.min_s = durs.front();
+    st.max_s = durs.back();
+    for (double d : durs) st.total_s += d;
+    st.p50_s = percentile(durs, 0.50);
+    st.p99_s = percentile(durs, 0.99);
+    out.spans.push_back(std::move(st));
+  }
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const SpanStats& a, const SpanStats& b) {
+              return a.total_s > b.total_s;
+            });
+
+  std::map<std::string, std::uint64_t> counters;
+  for (const CounterTotal& c : snap.counters) counters[c.name] += c.value;
+  for (const auto& [name, value] : counters)
+    out.counters.push_back(CounterTotal{name, /*rank=*/-1, value});
+  return out;
+}
+
+void write_metrics_json(const MetricsSummary& m, std::ostream& os) {
+  os << "{\"droppedEvents\":" << m.dropped << ",\n\"spans\":[";
+  for (std::size_t i = 0; i < m.spans.size(); ++i) {
+    const SpanStats& s = m.spans[i];
+    os << (i ? ",\n " : "\n ") << "{\"name\":";
+    write_escaped(os, s.name);
+    os << ",\"cat\":\"" << category_name(s.cat) << "\",\"count\":" << s.count
+       << ",\"total_s\":" << s.total_s << ",\"min_s\":" << s.min_s
+       << ",\"max_s\":" << s.max_s << ",\"p50_s\":" << s.p50_s
+       << ",\"p99_s\":" << s.p99_s << "}";
+  }
+  os << "\n],\n\"counters\":{";
+  for (std::size_t i = 0; i < m.counters.size(); ++i) {
+    os << (i ? ",\n " : "\n ");
+    write_escaped(os, m.counters[i].name);
+    os << ":" << m.counters[i].value;
+  }
+  os << "\n}}\n";
+}
+
+void write_metrics_json_file(const MetricsSummary& m,
+                             const std::string& path) {
+  std::ofstream os(path);
+  GMG_REQUIRE(os.good(), "cannot open metrics output file '" + path + "'");
+  write_metrics_json(m, os);
+}
+
+}  // namespace gmg::trace

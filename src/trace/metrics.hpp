@@ -1,0 +1,43 @@
+// Sink 2: aggregated metrics. Collapses a snapshot's spans into
+// per-name distribution statistics (count / total / min / max / p50 /
+// p99) and sums the counters, for a machine-readable JSON artifact CI
+// can regress against.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gmg::trace {
+
+struct SpanStats {
+  std::string name;
+  Category cat = Category::kOther;
+  std::size_t count = 0;
+  double total_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+  double p50_s = 0;
+  double p99_s = 0;
+};
+
+struct MetricsSummary {
+  /// Per span name, sorted by total seconds descending.
+  std::vector<SpanStats> spans;
+  /// Per counter name, summed across ranks, sorted by name.
+  std::vector<CounterTotal> counters;
+  std::uint64_t dropped = 0;
+
+  const SpanStats* find(std::string_view name) const;
+};
+
+MetricsSummary summarize(const Snapshot& snap);
+
+void write_metrics_json(const MetricsSummary& m, std::ostream& os);
+void write_metrics_json_file(const MetricsSummary& m,
+                             const std::string& path);
+
+}  // namespace gmg::trace

@@ -1,0 +1,272 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace gmg::trace {
+namespace {
+
+/// Events per thread buffer. 64Ki x 40B = 2.5 MiB per recording
+/// thread; overflow drops events and counts them, never blocks.
+constexpr std::size_t kRingCapacity = std::size_t{1} << 16;
+
+struct RawEvent {
+  const char* name = nullptr;
+  std::uint64_t t0_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::int32_t level = -1;
+  std::int32_t rank = 0;
+  Category cat = Category::kOther;
+};
+
+struct RawCounter {
+  const char* name = nullptr;
+  int rank = 0;
+  std::uint64_t value = 0;
+};
+
+/// Single-writer event ring plus a mutex-guarded counter table. The
+/// owning thread is the only writer of events[0..count); collect()
+/// reads count with acquire ordering against the owner's release
+/// store, so harvested slots are fully written.
+struct ThreadBuffer {
+  explicit ThreadBuffer(int tid_) : events(kRingCapacity), tid(tid_) {}
+
+  std::vector<RawEvent> events;
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<bool> retired{false};
+  int tid = 0;
+
+  std::mutex counter_mu;
+  std::vector<RawCounter> counters;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // live + retired
+  std::vector<std::shared_ptr<ThreadBuffer>> free;     // harvested, reusable
+  int next_tid = 0;
+};
+
+/// Leaked singleton: rank threads may still touch their buffers while
+/// static destructors run, so the registry must outlive everything.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+std::atomic<bool> g_enabled{true};
+
+thread_local int tls_rank = 0;
+
+/// Returning a buffer to the free list happens via this handle's
+/// destructor at thread exit; events survive (the registry keeps a
+/// reference) and the buffer is only reused after a clearing collect()
+/// has harvested it.
+struct TlsHandle {
+  std::shared_ptr<ThreadBuffer> buf;
+  ~TlsHandle() {
+    if (buf) buf->retired.store(true, std::memory_order_release);
+  }
+};
+thread_local TlsHandle tls_handle;
+
+ThreadBuffer* local_buffer() {
+  if (!tls_handle.buf) {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    if (!reg.free.empty()) {
+      tls_handle.buf = std::move(reg.free.back());
+      reg.free.pop_back();
+      tls_handle.buf->retired.store(false, std::memory_order_relaxed);
+      reg.buffers.push_back(tls_handle.buf);
+    } else {
+      tls_handle.buf = std::make_shared<ThreadBuffer>(reg.next_tid++);
+      reg.buffers.push_back(tls_handle.buf);
+    }
+  }
+  return tls_handle.buf.get();
+}
+
+void push_event(const char* name, Category cat, int level, std::uint64_t t0,
+                std::uint64_t dur) {
+  ThreadBuffer* b = local_buffer();
+  const std::size_t i = b->count.load(std::memory_order_relaxed);
+  if (i >= b->events.size()) {
+    b->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  b->events[i] = RawEvent{name, t0, dur, level, tls_rank, cat};
+  b->count.store(i + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::kCompute:
+      return "compute";
+    case Category::kComm:
+      return "comm";
+    case Category::kWait:
+      return "wait";
+    case Category::kModel:
+      return "model";
+    case Category::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+Category category_from_name(std::string_view name) {
+  if (name == "compute") return Category::kCompute;
+  if (name == "comm") return Category::kComm;
+  if (name == "wait") return Category::kWait;
+  if (name == "model") return Category::kModel;
+  return Category::kOther;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void set_rank(int rank) { tls_rank = rank; }
+int current_rank() { return tls_rank; }
+
+TraceSpan::TraceSpan(const char* name, Category cat, int level) {
+  name_ = name;
+  cat_ = cat;
+  level_ = level;
+  recording_ = enabled();
+  t0_ = now_ns();
+  open_ = true;
+}
+
+TraceSpan::~TraceSpan() { close(); }
+
+double TraceSpan::close() {
+  if (!open_) return 0.0;
+  open_ = false;
+  const std::uint64_t t1 = now_ns();
+  if (recording_) push_event(name_, cat_, level_, t0_, t1 - t0_);
+  return static_cast<double>(t1 - t0_) * 1e-9;
+}
+
+double TraceSpan::elapsed() const {
+  if (!open_) return 0.0;
+  return static_cast<double>(now_ns() - t0_) * 1e-9;
+}
+
+void counter_add(const char* name, std::uint64_t delta) {
+  if (!enabled()) return;
+  ThreadBuffer* b = local_buffer();
+  std::lock_guard<std::mutex> lock(b->counter_mu);
+  for (RawCounter& c : b->counters) {
+    // Literal names usually dedup to one pointer; fall back to a
+    // string compare so equal names from different TUs still merge.
+    if (c.rank == tls_rank &&
+        (c.name == name || std::string_view(c.name) == name)) {
+      c.value += delta;
+      return;
+    }
+  }
+  b->counters.push_back(RawCounter{name, tls_rank, delta});
+}
+
+std::uint64_t Snapshot::counter_total(std::string_view name) const {
+  std::uint64_t total = 0;
+  for (const CounterTotal& c : counters)
+    if (c.name == name) total += c.value;
+  return total;
+}
+
+double Snapshot::span_seconds(std::string_view name, int rank) const {
+  double total = 0;
+  for (const SpanRecord& s : spans)
+    if (s.name == name && (rank < 0 || s.rank == rank)) total += s.seconds();
+  return total;
+}
+
+int Snapshot::max_rank() const {
+  int m = -1;
+  for (const SpanRecord& s : spans) m = std::max(m, s.rank);
+  for (const CounterTotal& c : counters) m = std::max(m, c.rank);
+  return m;
+}
+
+Snapshot collect(bool clear) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Snapshot snap;
+  for (const auto& b : reg.buffers) {
+    const std::size_t n =
+        std::min(b->count.load(std::memory_order_acquire), b->events.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const RawEvent& e = b->events[i];
+      snap.spans.push_back(SpanRecord{e.name, e.cat, e.rank, b->tid, e.level,
+                                      e.t0_ns, e.dur_ns});
+    }
+    snap.dropped += b->dropped.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> clock(b->counter_mu);
+      for (const RawCounter& c : b->counters)
+        snap.counters.push_back(CounterTotal{c.name, c.rank, c.value});
+      if (clear) b->counters.clear();
+    }
+    if (clear) {
+      b->count.store(0, std::memory_order_relaxed);
+      b->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+  if (clear) {
+    // Recycle buffers whose owner thread has exited.
+    auto it = std::partition(reg.buffers.begin(), reg.buffers.end(),
+                             [](const std::shared_ptr<ThreadBuffer>& b) {
+                               return !b->retired.load(
+                                   std::memory_order_acquire);
+                             });
+    for (auto r = it; r != reg.buffers.end(); ++r)
+      reg.free.push_back(std::move(*r));
+    reg.buffers.erase(it, reg.buffers.end());
+  }
+
+  std::sort(snap.spans.begin(), snap.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+              return a.dur_ns > b.dur_ns;  // parent before child
+            });
+
+  // Merge counters recorded by different threads of the same rank.
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const CounterTotal& a, const CounterTotal& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.rank < b.rank;
+            });
+  std::vector<CounterTotal> merged;
+  for (CounterTotal& c : snap.counters) {
+    if (!merged.empty() && merged.back().name == c.name &&
+        merged.back().rank == c.rank) {
+      merged.back().value += c.value;
+    } else {
+      merged.push_back(std::move(c));
+    }
+  }
+  snap.counters = std::move(merged);
+  return snap;
+}
+
+void clear() { (void)collect(/*clear=*/true); }
+
+}  // namespace gmg::trace

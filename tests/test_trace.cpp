@@ -1,0 +1,235 @@
+// The src/trace subsystem: span nesting across rank threads, counter
+// totals agreeing with the comm layer's own byte accounting, and the
+// Chrome trace-event JSON round-tripping through the reader that
+// tools/trace_report uses.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "comm/exchange.hpp"
+#include "comm/simmpi.hpp"
+#include "perf/profiler.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/report.hpp"
+#include "trace/trace.hpp"
+
+namespace gmg::trace {
+namespace {
+
+/// Every trace test owns the global recorder for its duration.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clear();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(true);
+    clear();
+  }
+};
+
+using TraceSpans = TraceTest;
+
+TEST_F(TraceSpans, NestingAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kInner = 16;
+  std::vector<std::thread> workers;
+  for (int r = 0; r < kThreads; ++r) {
+    workers.emplace_back([r] {
+      set_rank(r);
+      TraceSpan outer("outer", Category::kCompute, r);
+      for (int i = 0; i < kInner; ++i) {
+        TraceSpan inner("inner", Category::kComm);
+        (void)inner;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const Snapshot snap = collect();
+  EXPECT_EQ(snap.dropped, 0u);
+
+  for (int r = 0; r < kThreads; ++r) {
+    const SpanRecord* outer = nullptr;
+    std::vector<const SpanRecord*> inners;
+    int tid = -1;
+    for (const SpanRecord& s : snap.spans) {
+      if (s.rank != r) continue;
+      if (tid == -1) tid = s.tid;
+      // One thread per rank in this test.
+      EXPECT_EQ(s.tid, tid);
+      if (s.name == "outer") {
+        outer = &s;
+        EXPECT_EQ(s.level, r);
+      } else if (s.name == "inner") {
+        inners.push_back(&s);
+      }
+    }
+    ASSERT_NE(outer, nullptr) << "rank " << r;
+    ASSERT_EQ(inners.size(), static_cast<std::size_t>(kInner));
+    std::uint64_t prev_end = 0;
+    for (const SpanRecord* in : inners) {
+      // Inner spans nest inside the outer one and do not overlap each
+      // other (they were strictly sequential on the thread).
+      EXPECT_GE(in->t0_ns, outer->t0_ns);
+      EXPECT_LE(in->t1_ns(), outer->t1_ns());
+      EXPECT_GE(in->t0_ns, prev_end);
+      prev_end = in->t1_ns();
+      EXPECT_EQ(in->cat, Category::kComm);
+    }
+  }
+
+  // Snapshot ordering puts a parent before its children in-thread.
+  for (int r = 0; r < kThreads; ++r) {
+    std::vector<const SpanRecord*> mine;
+    for (const SpanRecord& s : snap.spans)
+      if (s.rank == r) mine.push_back(&s);
+    ASSERT_FALSE(mine.empty());
+    EXPECT_EQ(mine.front()->name, "outer");
+  }
+}
+
+TEST_F(TraceSpans, DisabledTracingStillMeasures) {
+  set_enabled(false);
+  TraceSpan span("off");
+  const double secs = span.close();
+  EXPECT_GE(secs, 0.0);
+  EXPECT_EQ(span.close(), 0.0);  // idempotent
+  set_enabled(true);
+  const Snapshot snap = collect();
+  EXPECT_EQ(snap.span_seconds("off"), 0.0);
+}
+
+TEST_F(TraceSpans, ProfilerAggregatesMatchTrace) {
+  perf::Profiler prof;
+  for (int i = 0; i < 5; ++i)
+    prof.timed(1, perf::Phase::kApplyOp, [] {});
+  const Snapshot snap = collect();
+  EXPECT_EQ(summarize(snap).find("applyOp")->count, 5u);
+  const perf::Profiler rebuilt = perf::Profiler::from_trace(snap);
+  ASSERT_TRUE(rebuilt.has(1, perf::Phase::kApplyOp));
+  // The rebuilt total only differs by the ns->s quantization.
+  EXPECT_NEAR(rebuilt.total(1, perf::Phase::kApplyOp),
+              prof.total(1, perf::Phase::kApplyOp), 1e-6);
+}
+
+using TraceCounters = TraceTest;
+
+TEST_F(TraceCounters, ExchangeCountersMatchByteAccounting) {
+  constexpr index_t sub = 8, bdim = 4;
+  constexpr int kExchanges = 3;
+  const CartDecomp decomp({2 * sub, sub, sub}, {2, 1, 1});
+  comm::World world(2);
+  std::uint64_t bytes_per_call = 0;
+  world.run([&](comm::Communicator& c) {
+    BrickedArray f =
+        BrickedArray::create({sub, sub, sub}, BrickShape::cube(bdim));
+    comm::BrickExchange ex(f.grid_ptr(), f.shape(), decomp, c.rank(),
+                           comm::BrickExchangeMode::kPacked);
+    for (int i = 0; i < kExchanges; ++i) ex.exchange(c, f);
+    if (c.rank() == 0) bytes_per_call = ex.bytes_per_exchange();
+  });
+
+  const Snapshot snap = collect();
+  ASSERT_GT(bytes_per_call, 0u);
+  // Both ranks exchanged kExchanges times over symmetric plans.
+  EXPECT_EQ(snap.counter_total("exchange.calls"), 2u * kExchanges);
+  EXPECT_EQ(snap.counter_total("exchange.bytes"),
+            2u * kExchanges * bytes_per_call);
+  // The simmpi layer's own ledger and the trace counters are two
+  // independent tallies of the same isend traffic.
+  EXPECT_EQ(snap.counter_total("mpi.bytes_sent"), world.total_bytes_sent());
+  EXPECT_EQ(snap.counter_total("mpi.messages_sent"),
+            world.total_messages_sent());
+  // kPacked stages remote payloads through gather buffers.
+  EXPECT_EQ(snap.counter_total("exchange.bytes_packed"),
+            world.total_bytes_sent());
+  // Per-rank attribution: the symmetric 2-rank split sends the same
+  // bytes from each side.
+  double r0 = 0, r1 = 0;
+  for (const CounterTotal& c : snap.counters) {
+    if (c.name != "mpi.bytes_sent") continue;
+    (c.rank == 0 ? r0 : r1) += static_cast<double>(c.value);
+  }
+  EXPECT_EQ(r0, r1);
+}
+
+using ChromeTrace = TraceTest;
+
+TEST_F(ChromeTrace, JsonRoundTripsExactly) {
+  std::thread other([] {
+    set_rank(1);
+    TraceSpan s("peer.work", Category::kWait, 2);
+    counter_add("peer.counter", 41);
+    counter_add("peer.counter", 1);
+  });
+  other.join();
+  {
+    TraceSpan s("local.work", Category::kCompute);
+    TraceSpan nested("local.nested", Category::kModel);
+  }
+  counter_add("local.counter", 7);
+
+  const Snapshot snap = collect();
+  std::stringstream ss;
+  write_chrome_trace(snap, ss);
+
+  const Snapshot back = read_chrome_trace(ss);
+  ASSERT_EQ(back.spans.size(), snap.spans.size());
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const SpanRecord& a = snap.spans[i];
+    const SpanRecord& b = back.spans[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.cat, b.cat);
+    EXPECT_EQ(a.rank, b.rank);
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.dur_ns, b.dur_ns);
+    // Timestamps come back relative to the file origin: deltas between
+    // spans are preserved exactly.
+    EXPECT_EQ(a.t0_ns - snap.spans.front().t0_ns,
+              b.t0_ns - back.spans.front().t0_ns);
+  }
+  EXPECT_EQ(back.counter_total("peer.counter"), 42u);
+  EXPECT_EQ(back.counter_total("local.counter"), 7u);
+
+  // The aggregated views agree between original and round-tripped.
+  const MetricsSummary ma = summarize(snap), mb = summarize(back);
+  ASSERT_EQ(ma.spans.size(), mb.spans.size());
+  for (std::size_t i = 0; i < ma.spans.size(); ++i) {
+    EXPECT_EQ(ma.spans[i].name, mb.spans[i].name);
+    EXPECT_EQ(ma.spans[i].count, mb.spans[i].count);
+    EXPECT_DOUBLE_EQ(ma.spans[i].total_s, mb.spans[i].total_s);
+  }
+  EXPECT_FALSE(render_report(back).empty());
+}
+
+TEST_F(ChromeTrace, ReportSumsExchangeWaitPerRank) {
+  // Two fake rank threads with known wait durations: the per-rank
+  // summary must attribute "exchange.wait" to the right ranks.
+  for (int r = 0; r < 2; ++r) {
+    std::thread t([r] {
+      set_rank(r);
+      TraceSpan outer("exchange", Category::kComm, 0);
+      TraceSpan wait("exchange.wait", Category::kWait);
+    });
+    t.join();
+  }
+  const Snapshot snap = collect();
+  const auto ranks = per_rank_summary(snap);
+  ASSERT_EQ(ranks.size(), 2u);
+  double wait_sum = 0;
+  for (const RankSummary& rs : ranks) {
+    EXPECT_GT(rs.exchange_s, 0.0);
+    EXPECT_GT(rs.exchange_wait_s, 0.0);
+    EXPECT_LE(rs.exchange_wait_s, rs.exchange_s);
+    wait_sum += rs.exchange_wait_s;
+  }
+  EXPECT_NEAR(wait_sum, snap.span_seconds("exchange.wait"), 1e-12);
+}
+
+}  // namespace
+}  // namespace gmg::trace

@@ -1,0 +1,33 @@
+// trace_report: render the human-readable analysis of a Chrome
+// trace-event JSON produced by the bench harnesses' --trace-out flag
+// (trace sink 1). Prints the per-rank timeline table, exchange-wait
+// totals, per-rank critical-path decomposition, aggregated span
+// metrics, counters, and the artifact-format per-(level, phase)
+// profile.
+//
+//   trace_report run.trace.json
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "trace/chrome_trace.hpp"
+#include "trace/report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "-h" ||
+      std::string(argv[1]) == "--help") {
+    std::cerr << "usage: trace_report <trace.json>\n"
+              << "  <trace.json>  Chrome trace-event file written by a bench "
+                 "harness's --trace-out flag\n";
+    return argc == 2 ? 0 : 2;
+  }
+  try {
+    const gmg::trace::Snapshot snap =
+        gmg::trace::read_chrome_trace_file(argv[1]);
+    std::cout << gmg::trace::render_report(snap);
+  } catch (const std::exception& e) {
+    std::cerr << "trace_report: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
