@@ -109,9 +109,8 @@ arch::ArchSpec calibrated_host(index_t n) {
   return host;
 }
 
-std::string parse_trace_out(int argc, const char* const argv[],
-                            const char* program) {
-  Options opts;
+std::string parse_trace_out(Options& opts, int argc,
+                            const char* const argv[], const char* program) {
   opts.add_flag("trace-out",
                 "write Chrome trace-event JSON (and a .metrics.json "
                 "sidecar) to this path; load in ui.perfetto.dev");
@@ -122,6 +121,12 @@ std::string parse_trace_out(int argc, const char* const argv[],
     std::exit(2);
   }
   return opts.has("trace-out") ? opts.get("trace-out") : std::string();
+}
+
+std::string parse_trace_out(int argc, const char* const argv[],
+                            const char* program) {
+  Options opts;
+  return parse_trace_out(opts, argc, argv, program);
 }
 
 void finish_trace(const std::string& path) {

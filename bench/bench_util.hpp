@@ -9,6 +9,7 @@
 #include "arch/arch_spec.hpp"
 #include "arch/kernel_costs.hpp"
 #include "brick/bricked_array.hpp"
+#include "common/options.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "gmg/operators.hpp"
@@ -42,6 +43,11 @@ arch::ArchSpec calibrated_host(index_t n = 64);
 /// given). Unknown flags are an error, matching the Options policy.
 std::string parse_trace_out(int argc, const char* const argv[],
                             const char* program);
+
+/// Same, but on a caller-provided Options so a bench can register its
+/// own flags (e.g. fig6/fig8's --overlap) next to --trace-out.
+std::string parse_trace_out(Options& opts, int argc,
+                            const char* const argv[], const char* program);
 
 /// When `path` is non-empty: collect the trace accumulated so far and
 /// write the Chrome trace-event JSON to `path` plus the aggregated

@@ -5,7 +5,9 @@
 // with the per-system device + congested-network models; a live
 // multi-rank simmpi run confirms the algorithmic weak-scaling property
 // (V-cycles to converge independent of rank count).
+#include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "bench/bench_util.hpp"
@@ -71,10 +73,12 @@ void modeled_weak_scaling() {
       "  GPUs per node (network drawbacks, no GPU-aware MPI).");
 }
 
-void live_weak_scaling_check() {
+void live_weak_scaling_check(bool overlap) {
   bench::section(
-      "Fig. 8 (live) — convergence is rank-count independent on simmpi: "
-      "a fixed 64^3 global solve split over 1, 8 and 64 ranks must take "
+      std::string("Fig. 8 (live) — convergence is rank-count independent "
+                  "on simmpi (--overlap=") +
+      (overlap ? "on" : "off") +
+      "): a fixed 64^3 global solve split over 1, 8 and 64 ranks must take "
       "the same number of V-cycles (the iterates are bitwise identical)");
   Table t({"ranks", "subdomain", "V-cycles", "final residual"});
   for (int ranks : {1, 8, 64}) {
@@ -91,6 +95,7 @@ void live_weak_scaling_check() {
       opts.bottom_smooths = 100;
       opts.brick = BrickShape::cube(4);
       opts.max_vcycles = 60;
+      opts.overlap = overlap;
       GmgSolver solver(opts, decomp, c.rank());
       solver.set_rhs([](real_t x, real_t y, real_t z) {
         return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
@@ -111,10 +116,110 @@ void live_weak_scaling_check() {
   t.print();
 }
 
+struct OverlapRun {
+  std::vector<double> exchange_s;  // per level, summed across ranks
+  double wall_s = 0;               // slowest rank, fixed V-cycle count
+};
+
+OverlapRun run_overlap_config(const CartDecomp& decomp, bool overlap,
+                              int vcycles) {
+  OverlapRun out;
+  comm::World world(decomp.num_ranks());
+  world.run([&](comm::Communicator& c) {
+    GmgOptions opts;
+    opts.levels = 4;
+    opts.smooths = 12;
+    opts.bottom_smooths = 50;
+    opts.brick = BrickShape::cube(4);
+    opts.overlap = overlap;
+    GmgSolver solver(opts, decomp, c.rank());
+    solver.set_rhs([](real_t x, real_t y, real_t z) {
+      return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+             std::sin(2 * M_PI * z);
+    });
+    solver.vcycle(c);  // warm-up: engine + exchange buffers + caches
+    solver.profiler().clear();
+    c.barrier();
+    Timer timer;
+    for (int v = 0; v < vcycles; ++v) solver.vcycle(c);
+    const double wall = c.allreduce_max(timer.elapsed());
+    std::vector<double> exch;
+    for (int l = 0; l < solver.num_levels(); ++l) {
+      const double mine =
+          solver.profiler().has(l, perf::Phase::kExchange)
+              ? solver.profiler().total(l, perf::Phase::kExchange)
+              : 0.0;
+      exch.push_back(c.allreduce_sum(mine));
+    }
+    if (c.rank() == 0) {
+      out.exchange_s = exch;
+      out.wall_s = wall;
+    }
+  });
+  return out;
+}
+
+void overlap_hidden_exchange() {
+  bench::section(
+      "Fig. 8 (live) — compute–comm overlap: visible exchange seconds per "
+      "level, split-phase vs blocking, 64^3 over 8 ranks (2x2x2), 4 "
+      "V-cycles. hidden = max(0, 1 - t_on/t_off): the fraction of the "
+      "blocking exchange cost absorbed by interior smoothing");
+  const CartDecomp decomp({64, 64, 64}, {2, 2, 2});
+  const int vcycles = 4;
+  const OverlapRun off = run_overlap_config(decomp, false, vcycles);
+  const OverlapRun on = run_overlap_config(decomp, true, vcycles);
+
+  Table t({"level", "exchange off [ms]", "exchange on [ms]", "hidden"});
+  const std::size_t nlev = std::min(off.exchange_s.size(), on.exchange_s.size());
+  std::vector<double> hidden(nlev, 0.0);
+  for (std::size_t l = 0; l < nlev; ++l) {
+    hidden[l] = off.exchange_s[l] > 0
+                    ? std::max(0.0, 1.0 - on.exchange_s[l] / off.exchange_s[l])
+                    : 0.0;
+    t.row()
+        .cell(static_cast<long>(l))
+        .cell(off.exchange_s[l] * 1e3, 2)
+        .cell(on.exchange_s[l] * 1e3, 2)
+        .cell_percent(hidden[l]);
+  }
+  t.print();
+  std::cout << "  wall time, " << vcycles << " V-cycles: blocking "
+            << off.wall_s << " s, overlapped " << on.wall_s << " s\n";
+
+  std::ofstream os("BENCH_overlap.json");
+  os << "{\n  \"bench\": \"fig8_weak_scaling\",\n"
+     << "  \"ranks\": " << decomp.num_ranks() << ",\n"
+     << "  \"rank_grid\": \"2x2x2\",\n"
+     << "  \"global\": \"64^3\",\n"
+     << "  \"vcycles\": " << vcycles << ",\n"
+     << "  \"wall_s_blocking\": " << off.wall_s << ",\n"
+     << "  \"wall_s_overlap\": " << on.wall_s << ",\n"
+     << "  \"levels\": [\n";
+  for (std::size_t l = 0; l < nlev; ++l) {
+    os << "    {\"level\": " << l
+       << ", \"exchange_s_blocking\": " << off.exchange_s[l]
+       << ", \"exchange_s_overlap\": " << on.exchange_s[l]
+       << ", \"hidden_fraction\": " << hidden[l] << "}"
+       << (l + 1 < nlev ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  std::cout << "  wrote BENCH_overlap.json\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Options opts;
+  opts.add_flag("overlap",
+                "live-check smoothing path: on = split-phase compute–comm "
+                "overlap (DESIGN.md §10), off = blocking exchanges",
+                "on");
+  const std::string trace_out =
+      bench::parse_trace_out(opts, argc, argv, "fig8_weak_scaling");
   modeled_weak_scaling();
-  live_weak_scaling_check();
+  live_weak_scaling_check(opts.get_bool("overlap"));
+  overlap_hidden_exchange();
+  bench::finish_trace(trace_out);
   return 0;
 }

@@ -8,8 +8,12 @@
 #      running the trace recorder and simmpi/exchange tests — the
 #      multi-threaded code where a data race or lifetime bug in the
 #      per-thread ring buffers would hide.
+#   3. A TSan tree (./build-tsan, OpenMP off — see GMG_SANITIZE_THREAD)
+#      running the exec engine, simmpi, and split-phase exchange tests:
+#      the worker-pool handoffs of DESIGN.md §10 are exactly what a
+#      race detector must see scheduled live.
 #
-# Usage: ci/tier1.sh [--skip-asan]
+# Usage: ci/tier1.sh [--skip-asan] [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,22 +24,48 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
-if [[ "${1:-}" == "--skip-asan" ]]; then
+SKIP_ASAN=0
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-asan) SKIP_ASAN=1 ;;
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown flag: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+if [[ "${SKIP_ASAN}" == 1 ]]; then
   echo "== skipping ASan+UBSan pass =="
-  exit 0
+else
+  echo "== ASan+UBSan: trace + comm tests =="
+  cmake -B build-asan -S . \
+    -DGMG_SANITIZE=ON \
+    -DGMG_ENABLE_BENCH=OFF \
+    -DGMG_ENABLE_EXAMPLES=OFF \
+    -DGMG_NATIVE_ARCH=OFF >/dev/null
+  cmake --build build-asan -j"${JOBS}" \
+    --target test_trace test_simmpi test_exchange
+  for t in test_trace test_simmpi test_exchange; do
+    echo "-- ${t} (sanitized)"
+    "./build-asan/tests/${t}"
+  done
 fi
 
-echo "== ASan+UBSan: trace + comm tests =="
-cmake -B build-asan -S . \
-  -DGMG_SANITIZE=ON \
-  -DGMG_ENABLE_BENCH=OFF \
-  -DGMG_ENABLE_EXAMPLES=OFF \
-  -DGMG_NATIVE_ARCH=OFF >/dev/null
-cmake --build build-asan -j"${JOBS}" \
-  --target test_trace test_simmpi test_exchange
-for t in test_trace test_simmpi test_exchange; do
-  echo "-- ${t} (sanitized)"
-  "./build-asan/tests/${t}"
-done
+if [[ "${SKIP_TSAN}" == 1 ]]; then
+  echo "== skipping TSan pass =="
+else
+  echo "== TSan: exec engine + comm tests =="
+  cmake -B build-tsan -S . \
+    -DGMG_SANITIZE_THREAD=ON \
+    -DGMG_ENABLE_BENCH=OFF \
+    -DGMG_ENABLE_EXAMPLES=OFF \
+    -DGMG_NATIVE_ARCH=OFF >/dev/null
+  cmake --build build-tsan -j"${JOBS}" \
+    --target test_exec test_simmpi test_exchange
+  for t in test_exec test_simmpi test_exchange; do
+    echo "-- ${t} (tsan)"
+    "./build-tsan/tests/${t}"
+  done
+fi
 
 echo "== tier1.sh: all green =="

@@ -54,6 +54,17 @@ void BrickExchange::exchange(Communicator& comm, BrickedArray& field) {
 
 void BrickExchange::exchange(Communicator& comm,
                              std::vector<BrickedArray*> fields) {
+  begin(comm, std::move(fields));
+  finish(comm);
+}
+
+void BrickExchange::begin(Communicator& comm, BrickedArray& field) {
+  begin(comm, std::vector<BrickedArray*>{&field});
+}
+
+void BrickExchange::begin(Communicator& comm,
+                          std::vector<BrickedArray*> fields) {
+  GMG_REQUIRE(!in_flight_, "an exchange is already in flight");
   GMG_REQUIRE(!fields.empty(), "no fields to exchange");
   for (BrickedArray* f : fields) {
     GMG_REQUIRE(f->grid_ptr().get() == grid_.get(),
@@ -67,7 +78,8 @@ void BrickExchange::exchange(Communicator& comm,
   trace::counter_add("exchange.remote_bytes", remote_bytes_ * fields.size());
   trace::counter_add("exchange.calls", 1);
 
-  std::vector<Request> requests;
+  std::vector<Request>& requests = requests_;
+  requests.clear();
   requests.reserve(plans_.size() * 2 * fields.size());
 
   // Post all receives first (the usual MPI_IRecv-before-ISend pattern).
@@ -212,19 +224,38 @@ void BrickExchange::exchange(Communicator& comm,
     }
   }
 
+  inflight_fields_ = std::move(fields);
+  in_flight_ = true;
+}
+
+bool BrickExchange::test(Communicator& comm) {
+  if (!in_flight_) return true;
+  for (Request& r : requests_)
+    if (!comm.test(r)) return false;
+  return true;
+}
+
+void BrickExchange::finish(Communicator& comm) {
+  GMG_REQUIRE(in_flight_, "no exchange in flight");
   {
+    // Drain in completion order, not post order: early-arriving
+    // messages retire immediately while stragglers are still flying.
     trace::TraceSpan span("exchange.wait", trace::Category::kWait);
-    comm.wait_all(requests);
+    while (comm.wait_any(requests_) >= 0) {
+    }
   }
+  requests_.clear();
 
   // kPacked: unpack staged receives into the ghost ranges.
   if (mode_ == BrickExchangeMode::kPacked) {
     trace::TraceSpan span("exchange.unpack", trace::Category::kComm);
+    const std::size_t vol = static_cast<std::size_t>(shape_.volume());
+    const std::size_t brick_bytes = vol * kRealBytes;
     for (std::size_t p = 0; p < plans_.size(); ++p) {
       const DirectionPlan& plan = plans_[p];
       if (plan.self) continue;
       const real_t* src = recv_staging_[p].data();
-      for (BrickedArray* f : fields) {
+      for (BrickedArray* f : inflight_fields_) {
         std::memcpy(f->brick(plan.recv_range.first), src,
                     static_cast<std::size_t>(plan.recv_range.count) *
                         brick_bytes);
@@ -232,6 +263,8 @@ void BrickExchange::exchange(Communicator& comm,
       }
     }
   }
+  inflight_fields_.clear();
+  in_flight_ = false;
 }
 
 // ---------------------------------------------------------------------------
@@ -259,8 +292,17 @@ ArrayExchange::ArrayExchange(Vec3 subdomain_extent, index_t ghost_depth,
     if (!plan.self) remote_bytes_ += bytes;
     plans_.push_back(plan);
   }
+  // Size the per-direction staging buffers once, here: the region
+  // volumes are fixed by the plan, so exchange() never allocates.
   send_staging_.resize(plans_.size());
   recv_staging_.resize(plans_.size());
+  for (std::size_t p = 0; p < plans_.size(); ++p) {
+    if (plans_[p].self) continue;
+    send_staging_[p].reset(
+        static_cast<std::size_t>(plans_[p].send_region.volume()), false);
+    recv_staging_[p].reset(
+        static_cast<std::size_t>(plans_[p].recv_region.volume()), false);
+  }
 }
 
 void ArrayExchange::exchange(Communicator& comm, Array3D& field) {
@@ -280,7 +322,7 @@ void ArrayExchange::exchange(Communicator& comm, Array3D& field) {
       if (plan.self) continue;
       const std::size_t n =
           static_cast<std::size_t>(plan.recv_region.volume());
-      if (recv_staging_[p].size() < n) recv_staging_[p].reset(n, false);
+      GMG_ASSERT(recv_staging_[p].size() >= n);  // sized in the ctor
       requests.push_back(comm.irecv(recv_staging_[p].data(), n * kRealBytes,
                                     plan.neighbor,
                                     opposite_direction(plan.dir)));
@@ -307,7 +349,7 @@ void ArrayExchange::exchange(Communicator& comm, Array3D& field) {
       }
       const std::size_t n =
           static_cast<std::size_t>(plan.send_region.volume());
-      if (send_staging_[p].size() < n) send_staging_[p].reset(n, false);
+      GMG_ASSERT(send_staging_[p].size() >= n);  // sized in the ctor
       real_t* dst = send_staging_[p].data();
       for_each(plan.send_region, [&](index_t i, index_t j, index_t k) {
         *dst++ = field(i, j, k);

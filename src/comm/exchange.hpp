@@ -39,11 +39,30 @@ class BrickExchange {
                 BrickExchangeMode mode = BrickExchangeMode::kPackFree);
 
   /// Fill all 26 ghost-brick groups of `field` from the neighbors.
+  /// Equivalent to begin() + finish().
   void exchange(Communicator& comm, BrickedArray& field);
 
   /// Exchange several fields in one round with message aggregation
   /// across fields (one message per neighbor carrying all fields).
   void exchange(Communicator& comm, std::vector<BrickedArray*> fields);
+
+  // Split-phase protocol (DESIGN.md §10). begin() posts the ghost
+  // receives, performs the periodic self-copies synchronously, packs
+  // (mode-dependent) and sends; the caller then computes on data that
+  // does not touch the in-flight ghost ranges — for kPackFree the
+  // receives scatter straight into ghost brick storage, so those
+  // bricks are off-limits until finish() returns. finish() drains the
+  // requests (wait_any order, so completion need not match post order)
+  // and unpacks in kPacked mode. One exchange may be in flight per
+  // engine at a time; begin() while in flight is an error.
+  void begin(Communicator& comm, BrickedArray& field);
+  void begin(Communicator& comm, std::vector<BrickedArray*> fields);
+  /// Nonblocking: true once every message of the in-flight exchange
+  /// has completed (true when none is in flight). Does not unpack —
+  /// finish() must still be called.
+  bool test(Communicator& comm);
+  void finish(Communicator& comm);
+  bool in_flight() const { return in_flight_; }
 
   /// Total payload bytes moved per exchange() of one field (both into
   /// messages and self-copies) — feeds the network model.
@@ -76,6 +95,12 @@ class BrickExchange {
   // Staging buffers for kPacked mode, one pair per direction plan.
   std::vector<AlignedBuffer<real_t>> send_staging_;
   std::vector<AlignedBuffer<real_t>> recv_staging_;
+
+  // Split-phase state: requests and the field set of the exchange
+  // begun but not yet finished.
+  std::vector<Request> requests_;
+  std::vector<BrickedArray*> inflight_fields_;
+  bool in_flight_ = false;
 };
 
 /// Conventional ghosted-array exchange with depth `g` ghost cells.

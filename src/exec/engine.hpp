@@ -1,0 +1,116 @@
+// exec: a small stream/event-style asynchronous task engine — the
+// host-side analogue of the CUDA/HIP stream model the paper's GPU
+// mapping uses to hide halo-exchange latency behind stencil work.
+//
+// The engine owns a pool of worker threads draining a ready queue of
+// *streams*. Work submitted to one stream executes in submission order
+// (an ordered queue, like a CUDA stream); distinct streams may run
+// concurrently on different workers. *Events* mark points in a
+// stream's history: record() completes once all previously submitted
+// work on that stream has run, wait_event() stalls a stream until an
+// event (typically recorded on another stream) fires — the
+// cudaStreamWaitEvent cross-stream dependency.
+//
+// This layers on the thread-backed simmpi runtime: rank threads submit
+// interior compute to their engine, then block in the split-phase
+// exchange finish() while the worker executes — the compute–comm
+// overlap every scaling PR schedules through (DESIGN.md §10). Tasks
+// are traced under Category::kExec with the submitting rank's id, so
+// Chrome timelines show the overlapped compute span running
+// concurrently with the same rank's exchange wait.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace gmg::exec {
+
+class Engine;
+namespace detail {
+struct EventState;
+struct EngineState;
+}  // namespace detail
+
+/// Completion marker for a point in a stream's history. Default-
+/// constructed events are trivially ready. Copyable handles share one
+/// underlying state; an Event outlives the Engine that recorded it.
+class Event {
+ public:
+  Event() = default;
+
+  /// True once every task submitted before the matching record() has
+  /// finished (always true for a default-constructed event).
+  bool ready() const;
+
+  /// Block the calling thread until ready.
+  void wait() const;
+
+ private:
+  friend class Engine;
+  explicit Event(std::shared_ptr<detail::EventState> s);
+  std::shared_ptr<detail::EventState> state_;
+};
+
+/// Handle to one ordered work queue of an Engine.
+class Stream {
+ public:
+  Stream() = default;
+  bool valid() const { return id_ >= 0; }
+
+ private:
+  friend class Engine;
+  explicit Stream(int id) : id_(id) {}
+  int id_ = -1;
+};
+
+class Engine {
+ public:
+  /// Spawn `workers` worker threads (>= 1). One worker still overlaps
+  /// with the submitting thread — the common solver configuration.
+  explicit Engine(int workers = 1);
+
+  /// Drains every stream, then joins the workers.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Create a new stream. `name` must outlive the engine (pass a
+  /// string literal); it labels the stream's sync points in traces.
+  Stream create_stream(const char* name);
+
+  /// Enqueue `fn` on `s` after everything already submitted to `s`.
+  /// `name` must outlive the engine (string literal); the task runs
+  /// under a trace span of that name, Category::kExec, attributed to
+  /// the submitting thread's simulated rank.
+  void submit(Stream s, const char* name, std::function<void()> fn);
+
+  /// An event that fires once all work submitted to `s` so far has
+  /// completed.
+  Event record(Stream s);
+
+  /// Stall `s`: tasks submitted to `s` after this call run only once
+  /// `e` has fired. Events from another engine (or already-ready ones)
+  /// are honored too.
+  void wait_event(Stream s, Event e);
+
+  /// Block until all work submitted to `s` so far has completed.
+  void sync(Stream s);
+
+  /// Block until every stream is drained.
+  void sync();
+
+  int workers() const;
+
+  /// Total tasks executed (record/wait markers excluded).
+  std::uint64_t tasks_run() const;
+
+ private:
+  std::shared_ptr<detail::EngineState> state_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gmg::exec

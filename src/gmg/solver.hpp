@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "comm/simmpi.hpp"
+#include "exec/engine.hpp"
 #include "gmg/level.hpp"
 #include "perf/profiler.hpp"
 
@@ -52,6 +53,16 @@ struct GmgOptions {
   /// (Algorithm 2 as literally written).
   bool communication_avoiding = true;
   comm::BrickExchangeMode exchange_mode = comm::BrickExchangeMode::kPackFree;
+
+  /// Overlap compute with the ghost exchange (DESIGN.md §10): each
+  /// exchange runs split-phase, with the stencil applied over the
+  /// interior brick partition on an exec::Engine worker while the
+  /// messages fly, then over the surface shell once finish() returns.
+  /// Bitwise identical to the blocking path (only the operator
+  /// application is split by region; the pointwise x-update still runs
+  /// as one full-region call). No effect on ranks with no remote
+  /// neighbor.
+  bool overlap = true;
 
   /// The operator solved is A = identity_coef * I + laplacian_coef *
   /// Laplacian_h. The paper's model problem is (0, 1); an implicit
@@ -170,10 +181,32 @@ class GmgSolver {
 
   void exchange_for_smooth(comm::Communicator& comm, MgLevel& lev);
 
+  // Split-phase overlap machinery (DESIGN.md §10).
+  /// Whether this level's exchanges should run split-phase.
+  bool use_overlap(const MgLevel& lev) const;
+  /// begin() half of exchange_for_smooth: same field aggregation and
+  /// margin bookkeeping, but returns with the messages still in
+  /// flight.
+  void begin_exchange_for_smooth(comm::Communicator& comm, MgLevel& lev);
+  /// The subregion of `active` whose stencil taps touch no remote
+  /// ghost brick — safe to compute while the exchange is in flight.
+  Box overlap_safe_box(const MgLevel& lev, const Box& active) const;
+  /// Complete a begun exchange while `kernel` runs over the safe
+  /// subregion of `active` on the engine worker; after finish(), run
+  /// `kernel` over the remaining surface shell. Both parts are
+  /// profiled under `phase`.
+  void finish_exchange_overlapped(
+      comm::Communicator& comm, MgLevel& lev, const Box& active,
+      perf::Phase phase, const std::function<void(const Box&)>& kernel);
+  /// Lazily constructed worker engine shared by all levels.
+  exec::Engine& engine();
+
   GmgOptions opts_;
   int rank_;
   std::vector<MgLevel> levels_;
   perf::Profiler profiler_;
+  std::unique_ptr<exec::Engine> engine_;
+  exec::Stream compute_stream_;
 };
 
 }  // namespace gmg

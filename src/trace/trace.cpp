@@ -116,6 +116,8 @@ const char* category_name(Category c) {
       return "wait";
     case Category::kModel:
       return "model";
+    case Category::kExec:
+      return "exec";
     case Category::kOther:
       return "other";
   }
@@ -127,6 +129,7 @@ Category category_from_name(std::string_view name) {
   if (name == "comm") return Category::kComm;
   if (name == "wait") return Category::kWait;
   if (name == "model") return Category::kModel;
+  if (name == "exec") return Category::kExec;
   return Category::kOther;
 }
 

@@ -29,8 +29,19 @@ namespace gmg::trace {
 
 /// Coarse event classification, mapped to the Chrome trace "cat"
 /// field. kWait marks time blocked on another rank (exchange waits,
-/// barriers, reductions) — the per-rank skew signal.
-enum class Category : std::uint8_t { kCompute, kComm, kWait, kModel, kOther };
+/// barriers, reductions) — the per-rank skew signal. kExec marks work
+/// scheduled through the exec::Engine task engine (interior compute
+/// overlapped with an in-flight exchange); on the timeline these spans
+/// run concurrently with the same rank's exchange.finish wait, which
+/// is how compute–comm overlap is made visible.
+enum class Category : std::uint8_t {
+  kCompute,
+  kComm,
+  kWait,
+  kModel,
+  kExec,
+  kOther
+};
 
 const char* category_name(Category c);
 Category category_from_name(std::string_view name);

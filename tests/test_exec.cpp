@@ -1,0 +1,142 @@
+// exec::Engine semantics: per-stream ordering, events (record /
+// wait_event / wait), cross-stream dependencies, sync, and use from
+// simmpi rank threads (the solver's overlap configuration).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "comm/simmpi.hpp"
+#include "common/error.hpp"
+#include "exec/engine.hpp"
+
+namespace gmg::exec {
+namespace {
+
+TEST(ExecEngine, TasksOnOneStreamRunInSubmissionOrder) {
+  Engine eng(2);  // even with 2 workers a stream stays ordered
+  Stream s = eng.create_stream("s");
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i)
+    eng.submit(s, "task", [&order, i] { order.push_back(i); });
+  eng.sync(s);
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  EXPECT_EQ(eng.tasks_run(), 100u);
+}
+
+TEST(ExecEngine, DefaultEventIsReady) {
+  Event e;
+  EXPECT_TRUE(e.ready());
+  e.wait();  // must not block
+}
+
+TEST(ExecEngine, RecordedEventFiresAfterPriorWork) {
+  Engine eng(1);
+  Stream s = eng.create_stream("s");
+  std::atomic<bool> ran{false};
+  eng.submit(s, "task", [&] { ran = true; });
+  Event e = eng.record(s);
+  e.wait();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(e.ready());
+  // ready() keeps answering true on later calls.
+  EXPECT_TRUE(e.ready());
+}
+
+TEST(ExecEngine, RecordOnDrainedStreamIsImmediatelyReady) {
+  Engine eng(1);
+  Stream s = eng.create_stream("s");
+  eng.sync(s);
+  EXPECT_TRUE(eng.record(s).ready());
+}
+
+TEST(ExecEngine, WaitEventOrdersAcrossStreams) {
+  Engine eng(2);
+  Stream a = eng.create_stream("a");
+  Stream b = eng.create_stream("b");
+  // The cudaStreamWaitEvent pattern: b's task is gated on an event
+  // recorded on a, so it must observe a's task even with two workers.
+  std::vector<int> order;
+  eng.submit(a, "first", [&order] { order.push_back(1); });
+  Event done_a = eng.record(a);
+  eng.wait_event(b, done_a);
+  eng.submit(b, "second", [&order] { order.push_back(2); });
+  eng.record(b).wait();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(ExecEngine, WaitEventOnReadyEventIsANoOp) {
+  Engine eng(1);
+  Stream s = eng.create_stream("s");
+  eng.wait_event(s, Event{});
+  bool ran = false;
+  eng.submit(s, "task", [&] { ran = true; });
+  eng.sync(s);
+  EXPECT_TRUE(ran);
+}
+
+TEST(ExecEngine, SyncAllDrainsEveryStream) {
+  Engine eng(2);
+  std::atomic<int> count{0};
+  std::vector<Stream> streams;
+  for (int i = 0; i < 4; ++i) streams.push_back(eng.create_stream("s"));
+  for (const Stream& s : streams)
+    for (int t = 0; t < 25; ++t)
+      eng.submit(s, "task", [&count] { ++count; });
+  eng.sync();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ExecEngine, DestructorDrainsPendingWork) {
+  std::atomic<int> count{0};
+  {
+    Engine eng(1);
+    Stream s = eng.create_stream("s");
+    for (int t = 0; t < 50; ++t)
+      eng.submit(s, "task", [&count] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ExecEngine, InvalidStreamIsRejected) {
+  Engine eng(1);
+  Stream invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_THROW(eng.submit(invalid, "task", [] {}), Error);
+  EXPECT_THROW(eng.record(invalid), Error);
+  EXPECT_THROW(eng.sync(invalid), Error);
+}
+
+TEST(ExecEngine, RankThreadsOverlapComputeWithWaits) {
+  // The solver's configuration: each simmpi rank owns an engine, hands
+  // it compute, and blocks on a receive while the worker runs. The
+  // worker must make progress even though every rank thread is blocked
+  // in wait() — the deadlock this guards against is a worker that only
+  // runs when its submitting thread polls.
+  comm::World world(2);
+  world.run([&](comm::Communicator& c) {
+    Engine eng(1);
+    Stream s = eng.create_stream("compute");
+    double computed = 0.0;
+    eng.submit(s, "overlap", [&computed] {
+      for (int i = 1; i <= 1000; ++i) computed += 1.0 / i;
+    });
+    Event done = eng.record(s);
+
+    const int peer = 1 - c.rank();
+    double in = 0.0, out = 3.5 + c.rank();
+    comm::Request r = c.irecv(&in, sizeof(in), peer, 1);
+    comm::Request snd = c.isend(&out, sizeof(out), peer, 1);
+    c.wait(r);
+    c.wait(snd);
+    done.wait();
+    EXPECT_DOUBLE_EQ(in, 3.5 + peer);
+    EXPECT_GT(computed, 0.0);
+  });
+}
+
+}  // namespace
+}  // namespace gmg::exec

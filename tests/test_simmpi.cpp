@@ -235,6 +235,79 @@ TEST(SimMpi, SizeMismatchFailsFast) {
                Error);
 }
 
+TEST(SimMpi, TestReportsCompletionAndStaysTrue) {
+  World world(2);
+  world.run([&](Communicator& c) {
+    // An invalid request tests true, like MPI_REQUEST_NULL.
+    Request null_req;
+    EXPECT_TRUE(c.test(null_req));
+
+    double buf = 0;
+    if (c.rank() == 0) {
+      Request r = c.irecv(&buf, sizeof(buf), 1, 5);
+      // The sender is parked before the barrier, so the recv cannot
+      // have completed yet.
+      EXPECT_FALSE(c.test(r));
+      c.barrier();   // release the sender
+      c.barrier();   // sender passed this only after its send completed
+      // Repeated test() keeps answering true; the request stays valid.
+      for (int i = 0; i < 3; ++i) EXPECT_TRUE(c.test(r));
+      EXPECT_TRUE(r.valid());
+      c.wait(r);
+      EXPECT_DOUBLE_EQ(buf, 2.75);
+    } else {
+      c.barrier();
+      double v = 2.75;
+      Request s = c.isend(&v, sizeof(v), 0, 5);
+      c.wait(s);  // buffered send: completes synchronously
+      c.barrier();
+    }
+  });
+}
+
+TEST(SimMpi, WaitAnyReturnsCompletionsOutOfPostOrder) {
+  World world(2);
+  world.run([&](Communicator& c) {
+    if (c.rank() == 0) {
+      double a = 0, b = 0;
+      std::vector<Request> reqs;
+      reqs.push_back(c.irecv(&a, sizeof(a), 1, 1));  // posted first...
+      reqs.push_back(c.irecv(&b, sizeof(b), 1, 2));  // ...but sent second
+      c.barrier();
+      // The peer sends tag 2 first: wait_any must surface index 1
+      // before index 0 regardless of post order.
+      const int first = c.wait_any(reqs);
+      EXPECT_EQ(first, 1);
+      EXPECT_DOUBLE_EQ(b, 20.0);
+      EXPECT_FALSE(reqs[1].valid());  // consumed, MPI_REQUEST_NULL-like
+      c.barrier();
+      const int second = c.wait_any(reqs);
+      EXPECT_EQ(second, 0);
+      EXPECT_DOUBLE_EQ(a, 10.0);
+      // Every entry consumed: the drain loop's stop condition.
+      EXPECT_EQ(c.wait_any(reqs), -1);
+    } else {
+      c.barrier();
+      double v2 = 20.0;
+      Request s2 = c.isend(&v2, sizeof(v2), 0, 2);
+      c.wait(s2);
+      c.barrier();
+      double v1 = 10.0;
+      Request s1 = c.isend(&v1, sizeof(v1), 0, 1);
+      c.wait(s1);
+    }
+  });
+}
+
+TEST(SimMpi, WaitAnyOnAllInvalidReturnsMinusOne) {
+  World world(1);
+  world.run([&](Communicator& c) {
+    std::vector<Request> reqs(3);  // all default-constructed
+    EXPECT_EQ(c.wait_any(reqs), -1);
+    EXPECT_EQ(c.wait_any(std::span<Request>{}), -1);
+  });
+}
+
 TEST(SimMpi, PeerFailurePropagates) {
   World world(2);
   EXPECT_THROW(world.run([&](Communicator& c) {
