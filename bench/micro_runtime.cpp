@@ -1,0 +1,118 @@
+// Kernel-runtime ablation: the five V-cycle operators on the live
+// host, swept over worker counts and over the two runtime modes
+// (persistent engine pool vs legacy OpenMP fork/join). Both modes use
+// the same chunk plan, so any throughput delta is pure dispatch cost.
+// Writes BENCH_kernel_runtime.json.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "exec/runtime.hpp"
+
+using namespace gmg;
+
+namespace {
+
+struct Config {
+  exec::KernelRuntime mode;
+  int workers;  // engine pool size (ignored by the OpenMP mode)
+  std::string label;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_out =
+      bench::parse_trace_out(argc, argv, "micro_runtime");
+  const index_t n = 64, bdim = 8;
+  const int default_workers = exec::resolved_default_workers();
+
+  bench::section(
+      "Kernel runtime ablation — GStencil/s per operator, 64^3, bricks "
+      "8^3: persistent engine pool at 1/2/default workers vs the OpenMP "
+      "fork/join reference (identical chunk plans)");
+  std::cout << "  hardware_concurrency = "
+            << std::thread::hardware_concurrency()
+            << ", default workers = " << default_workers << "\n";
+
+  std::vector<Config> configs{
+      {exec::KernelRuntime::kEnginePool, 1, "pool-1"},
+      {exec::KernelRuntime::kEnginePool, 2, "pool-2"},
+  };
+  if (default_workers != 1 && default_workers != 2) {
+    configs.push_back({exec::KernelRuntime::kEnginePool, default_workers,
+                       "pool-" + std::to_string(default_workers)});
+  }
+  configs.push_back(
+      {exec::KernelRuntime::kOpenMP, default_workers, "omp-forkjoin"});
+
+  // throughput[config][op] in GStencil/s (cells updated per second).
+  // Two interleaved passes, best kept, so no config systematically
+  // benefits from running on a warmer core than the others.
+  std::vector<std::vector<double>> gsps(
+      configs.size(), std::vector<double>(arch::kNumOps, 0.0));
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      const Config& cfg = configs[ci];
+      exec::set_kernel_runtime(cfg.mode);
+      exec::configure_default_engine(cfg.workers);
+      for (int opi = 0; opi < arch::kNumOps; ++opi) {
+        const auto op = static_cast<arch::Op>(opi);
+        const double secs = bench::measure_host_kernel(op, n, bdim, 9);
+        const double points =
+            arch::points_for(op, static_cast<double>(n) * n * n);
+        gsps[ci][static_cast<std::size_t>(opi)] =
+            std::max(gsps[ci][static_cast<std::size_t>(opi)],
+                     points / secs / 1e9);
+      }
+    }
+  }
+  // Restore the environment-selected defaults for whatever runs next.
+  exec::set_kernel_runtime(exec::KernelRuntime::kEnginePool);
+  exec::configure_default_engine(default_workers);
+
+  std::vector<std::string> headers{"op"};
+  for (const Config& cfg : configs) headers.push_back(cfg.label);
+  Table t(headers);
+  for (int opi = 0; opi < arch::kNumOps; ++opi) {
+    auto& row = t.row().cell(arch::op_name(static_cast<arch::Op>(opi)));
+    for (std::size_t ci = 0; ci < configs.size(); ++ci)
+      row.cell(gsps[ci][static_cast<std::size_t>(opi)], 3);
+  }
+  t.print();
+  t.write_csv("micro_runtime.csv");
+  bench::note(
+      "  pool-N spins the persistent engine with N workers; omp-forkjoin\n"
+      "  is the pre-runtime `#pragma omp parallel for` dispatch. On a\n"
+      "  single-core host all configs collapse to the serial fast path.");
+
+  std::ofstream os("BENCH_kernel_runtime.json");
+  os << "{\n  \"bench\": \"micro_runtime\",\n"
+     << "  \"n\": " << n << ",\n  \"brick_dim\": " << bdim << ",\n"
+     << "  \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ",\n"
+     << "  \"default_workers\": " << default_workers << ",\n"
+     << "  \"unit\": \"GStencil/s\",\n"
+     << "  \"configs\": [\n";
+  for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+    const Config& cfg = configs[ci];
+    os << "    {\"label\": \"" << cfg.label << "\", \"runtime\": \""
+       << (cfg.mode == exec::KernelRuntime::kEnginePool ? "engine_pool"
+                                                        : "openmp")
+       << "\", \"workers\": " << cfg.workers << ", \"ops\": {";
+    for (int opi = 0; opi < arch::kNumOps; ++opi) {
+      os << "\"" << arch::op_name(static_cast<arch::Op>(opi))
+         << "\": " << gsps[ci][static_cast<std::size_t>(opi)]
+         << (opi + 1 < arch::kNumOps ? ", " : "");
+    }
+    os << "}}" << (ci + 1 < configs.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  std::cout << "  wrote BENCH_kernel_runtime.json\n";
+  bench::finish_trace(trace_out);
+  return 0;
+}

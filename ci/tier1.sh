@@ -9,9 +9,10 @@
 #      multi-threaded code where a data race or lifetime bug in the
 #      per-thread ring buffers would hide.
 #   3. A TSan tree (./build-tsan, OpenMP off — see GMG_SANITIZE_THREAD)
-#      running the exec engine, simmpi, and split-phase exchange tests:
-#      the worker-pool handoffs of DESIGN.md §10 are exactly what a
-#      race detector must see scheduled live.
+#      running the exec engine, kernel-runtime parallel_for, simmpi,
+#      and split-phase exchange tests: the worker-pool handoffs of
+#      DESIGN.md §10–11 are exactly what a race detector must see
+#      scheduled live.
 #
 # Usage: ci/tier1.sh [--skip-asan] [--skip-tsan]
 set -euo pipefail
@@ -23,6 +24,14 @@ echo "== tier 1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+# The solver must produce bitwise-identical results at any worker
+# count; run the solver suite serial and at the hardware default to
+# catch anything the in-suite determinism tests miss.
+echo "== tier 1: solver suite, GMG_EXEC_WORKERS=1 =="
+GMG_EXEC_WORKERS=1 ./build/tests/test_solver
+echo "== tier 1: solver suite, default workers =="
+./build/tests/test_solver
 
 SKIP_ASAN=0
 SKIP_TSAN=0
@@ -61,8 +70,8 @@ else
     -DGMG_ENABLE_EXAMPLES=OFF \
     -DGMG_NATIVE_ARCH=OFF >/dev/null
   cmake --build build-tsan -j"${JOBS}" \
-    --target test_exec test_simmpi test_exchange
-  for t in test_exec test_simmpi test_exchange; do
+    --target test_exec test_parallel_for test_simmpi test_exchange
+  for t in test_exec test_parallel_for test_simmpi test_exchange; do
     echo "-- ${t} (tsan)"
     "./build-tsan/tests/${t}"
   done

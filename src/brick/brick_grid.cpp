@@ -1,5 +1,7 @@
 #include "brick/brick_grid.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace gmg {
@@ -108,6 +110,76 @@ BrickPartition BrickGrid::partition(
     (surf ? p.surface : p.interior).push_back(id);
   }
   return p;
+}
+
+std::shared_ptr<const BrickIterPlan> BrickGrid::build_plan(
+    const Box& active, Vec3 brick_dims) const {
+  const Vec3 bd = brick_dims;
+  auto plan = std::make_shared<BrickIterPlan>();
+  plan->active = active;
+  plan->brick_dims = bd;
+  if (active.empty()) return plan;
+  plan->brick_region =
+      Box{{floor_div(active.lo.x, bd.x), floor_div(active.lo.y, bd.y),
+           floor_div(active.lo.z, bd.z)},
+          {floor_div(active.hi.x - 1, bd.x) + 1,
+           floor_div(active.hi.y - 1, bd.y) + 1,
+           floor_div(active.hi.z - 1, bd.z) + 1}};
+  GMG_REQUIRE(extended_box().covers(plan->brick_region),
+              "active region extends beyond the ghost bricks");
+
+  // Two lexicographic passes keep each half of `items` in brick order
+  // (chunk boundaries then cut a deterministic sequence).
+  std::vector<BrickPlanItem> clipped;
+  for_each(plan->brick_region, [&](index_t bx, index_t by, index_t bz) {
+    const std::int32_t id = storage_id({bx, by, bz});
+    GMG_ASSERT(id >= 0);
+    BrickPlanItem it;
+    it.id = id;
+    it.coord = {bx, by, bz};
+    const index_t cx = bx * bd.x, cy = by * bd.y, cz = bz * bd.z;
+    it.ilo = static_cast<std::int16_t>(std::max<index_t>(0, active.lo.x - cx));
+    it.ihi =
+        static_cast<std::int16_t>(std::min<index_t>(bd.x, active.hi.x - cx));
+    it.jlo = static_cast<std::int16_t>(std::max<index_t>(0, active.lo.y - cy));
+    it.jhi =
+        static_cast<std::int16_t>(std::min<index_t>(bd.y, active.hi.y - cy));
+    it.klo = static_cast<std::int16_t>(std::max<index_t>(0, active.lo.z - cz));
+    it.khi =
+        static_cast<std::int16_t>(std::min<index_t>(bd.z, active.hi.z - cz));
+    it.adj = adj_[static_cast<std::size_t>(id)].data();
+    const bool full = it.ilo == 0 && it.jlo == 0 && it.klo == 0 &&
+                      it.ihi == bd.x && it.jhi == bd.y && it.khi == bd.z;
+    if (full) {
+      plan->items.push_back(it);
+    } else {
+      clipped.push_back(it);
+    }
+  });
+  plan->num_full = static_cast<std::int64_t>(plan->items.size());
+  plan->items.insert(plan->items.end(), clipped.begin(), clipped.end());
+  return plan;
+}
+
+std::shared_ptr<const BrickIterPlan> BrickGrid::iteration_plan(
+    const Box& active, Vec3 brick_dims) const {
+  const PlanKey key{active, brick_dims};
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    for (const auto& [k, p] : plan_cache_) {
+      if (k == key) return p;
+    }
+  }
+  auto plan = build_plan(active, brick_dims);
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  for (const auto& [k, p] : plan_cache_) {  // lost a build race: reuse
+    if (k == key) return p;
+  }
+  // Cap the cache: a level sees only a handful of (active, dims) keys;
+  // anything past this is a pathological caller, served uncached.
+  constexpr std::size_t kMaxCachedPlans = 128;
+  if (plan_cache_.size() < kMaxCachedPlans) plan_cache_.emplace_back(key, plan);
+  return plan;
 }
 
 std::vector<BrickRange> BrickGrid::segments_of(const Box& region) const {

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "brick/brick_shape.hpp"
@@ -40,6 +41,35 @@ struct BrickPartition {
   Box interior_box;
   /// Disjoint brick-coordinate boxes tiling the surface set.
   std::vector<Box> surface_boxes;
+};
+
+/// One resolved brick of a cached iteration plan: storage id, brick
+/// coordinate, the local clip bounds of the active region inside the
+/// brick, and a pointer to the brick's 27-entry adjacency row (valid
+/// for the lifetime of the owning BrickGrid).
+struct BrickPlanItem {
+  std::int32_t id = -1;
+  Vec3 coord;
+  // Local element bounds in [0, brick dim]; a *full* brick has
+  // (0, bx, 0, by, 0, bz) — the whole brick is active.
+  std::int16_t ilo = 0, ihi = 0, jlo = 0, jhi = 0, klo = 0, khi = 0;
+  const std::int32_t* adj = nullptr;
+};
+
+/// The resolved brick list for one (active box, brick dims) pair:
+/// items[0, num_full) are full-interior bricks (whole brick active —
+/// kernels run one straight-line loop with compile-time bounds),
+/// items[num_full, ...) are clipped boundary bricks. Each half keeps
+/// lexicographic brick order, so chunked sweeps stay deterministic.
+/// Plans reference the grid's adjacency storage and must not outlive
+/// it; the grid is immutable after construction, so a cached plan
+/// never goes stale.
+struct BrickIterPlan {
+  Box active;
+  Vec3 brick_dims;
+  Box brick_region;           // brick-coordinate cover of `active`
+  std::int64_t num_full = 0;  // prefix of `items` that is full bricks
+  std::vector<BrickPlanItem> items;
 };
 
 class BrickGrid {
@@ -94,6 +124,17 @@ class BrickGrid {
   BrickPartition partition(
       const std::array<bool, kNumDirections>& remote) const;
 
+  /// The memoized iteration plan for `active` under `brick_dims`
+  /// (BrickShape element dims). Repeated calls with the same arguments
+  /// return the same shared plan — steady-state V-cycle sweeps resolve
+  /// their brick list, storage ids, clip bounds, and adjacency pointers
+  /// exactly once. Thread-safe. The grid is immutable, so plans are
+  /// never invalidated; they simply must not outlive the grid (see
+  /// BrickIterPlan). A small fixed number of distinct keys is cached;
+  /// on overflow the plan is still built, just not retained.
+  std::shared_ptr<const BrickIterPlan> iteration_plan(const Box& active,
+                                                      Vec3 brick_dims) const;
+
   /// The storage runs covering an arbitrary brick-coordinate region
   /// (adjacent storage ids merged). Used to build send segments.
   std::vector<BrickRange> segments_of(const Box& region) const;
@@ -123,6 +164,20 @@ class BrickGrid {
   std::vector<Vec3> coord_of_;        // id -> coord
   std::vector<std::array<std::int32_t, kNumDirections>> adj_;
   std::array<BrickRange, kNumDirections> ghost_ranges_{};
+
+  std::shared_ptr<const BrickIterPlan> build_plan(const Box& active,
+                                                  Vec3 brick_dims) const;
+
+  struct PlanKey {
+    Box active;
+    Vec3 brick_dims;
+    friend bool operator==(const PlanKey&, const PlanKey&) = default;
+  };
+  // Few distinct (active, dims) keys exist per level (one per kernel
+  // margin), so a linear scan beats a hash map here.
+  mutable std::mutex plan_mu_;
+  mutable std::vector<std::pair<PlanKey, std::shared_ptr<const BrickIterPlan>>>
+      plan_cache_;
 };
 
 /// Floor division/modulo for mapping (possibly negative) ghost cell

@@ -1,0 +1,40 @@
+// Fan a cached BrickIterPlan out over the parallel kernel runtime.
+//
+// The plan's item order (full bricks first, then clipped, each half
+// lexicographic) combined with the runtime's worker-count-independent
+// chunk boundaries makes every sweep deterministic: the same bricks
+// always land in the same chunks, regardless of how many workers drain
+// them.
+#pragma once
+
+#include <type_traits>
+
+#include "brick/brick_grid.hpp"
+#include "exec/runtime.hpp"
+
+namespace gmg {
+
+/// Invoke `per_brick(item, is_full)` for every brick of `plan`, chunked
+/// over the runtime. `is_full` is std::true_type for full-interior
+/// bricks (clip bounds statically whole-brick — kernels specialize to a
+/// straight-line loop) and std::false_type for clipped ones. BD is the
+/// BrickDims tag sizing the per-chunk grain.
+template <typename BD, typename Fn>
+void for_each_plan_brick(const char* name, const BrickIterPlan& plan,
+                         Fn&& per_brick) {
+  const std::int64_t nf = plan.num_full;
+  exec::parallel_for(
+      name, static_cast<std::int64_t>(plan.items.size()),
+      exec::brick_grain(BD::volume), [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e && i < nf; ++i) {
+          per_brick(plan.items[static_cast<std::size_t>(i)],
+                    std::true_type{});
+        }
+        for (std::int64_t i = b > nf ? b : nf; i < e; ++i) {
+          per_brick(plan.items[static_cast<std::size_t>(i)],
+                    std::false_type{});
+        }
+      });
+}
+
+}  // namespace gmg

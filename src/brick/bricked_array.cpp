@@ -1,6 +1,30 @@
 #include "brick/bricked_array.hpp"
 
+#include <cstring>
+
+#include "exec/runtime.hpp"
+
 namespace gmg {
+
+BrickedArray::BrickedArray(std::shared_ptr<const BrickGrid> grid,
+                           BrickShape shape, bool zero)
+    : grid_(std::move(grid)),
+      shape_(shape),
+      data_(static_cast<std::size_t>(grid_->num_bricks()) *
+                static_cast<std::size_t>(shape.volume()),
+            /*zero=*/false) {
+  if (!zero) return;
+  // First-touch: fault the pages in under the same chunk plan the
+  // kernels will use, so on NUMA hosts each page lands on the worker
+  // that computes on it.
+  real_t* p = data_.data();
+  exec::parallel_for("brick.firstTouch", static_cast<std::int64_t>(size()),
+                     exec::kElementGrain, [&](std::int64_t b, std::int64_t e) {
+                       std::memset(p + b, 0,
+                                   static_cast<std::size_t>(e - b) *
+                                       sizeof(real_t));
+                     });
+}
 
 void BrickedArray::copy_from(const Array3D& a) {
   GMG_REQUIRE(a.extent() == extent(), "extent mismatch");

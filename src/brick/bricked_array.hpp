@@ -18,14 +18,12 @@ class BrickedArray {
   BrickedArray() = default;
 
   /// Build over a shared grid. All fields of one multigrid level share
-  /// the grid (geometry/adjacency); each owns its own storage.
+  /// the grid (geometry/adjacency); each owns its own storage. When
+  /// `zero` is set the storage is zeroed through the kernel runtime's
+  /// chunking (first-touch: pages fault in on the threads that will
+  /// compute on them).
   BrickedArray(std::shared_ptr<const BrickGrid> grid, BrickShape shape,
-               bool zero = true)
-      : grid_(std::move(grid)),
-        shape_(shape),
-        data_(static_cast<std::size_t>(grid_->num_bricks()) *
-                  static_cast<std::size_t>(shape.volume()),
-              zero) {}
+               bool zero = true);
 
   /// Convenience: build a fresh grid for a subdomain of `cells`
   /// elements (must be divisible by the brick dims).

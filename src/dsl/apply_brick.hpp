@@ -17,6 +17,7 @@
 #include <array>
 #include <tuple>
 
+#include "brick/brick_plan.hpp"
 #include "brick/bricked_array.hpp"
 #include "dsl/expr.hpp"
 
@@ -84,16 +85,8 @@ void apply_bricks_impl(BD, const Expr& expr, BrickedArray& out,
   constexpr int kSlots = sizeof...(Fields);
   const std::array<const real_t*, kSlots> bases{inputs.data()...};
 
-  // Brick range covered by the active cell region.
-  const Box brick_region{
-      {floor_div(active.lo.x, BD::bx), floor_div(active.lo.y, BD::by),
-       floor_div(active.lo.z, BD::bz)},
-      {floor_div(active.hi.x - 1, BD::bx) + 1,
-       floor_div(active.hi.y - 1, BD::by) + 1,
-       floor_div(active.hi.z - 1, BD::bz) + 1}};
-  GMG_REQUIRE(grid.extended_box().covers(brick_region),
-              "active region extends beyond the ghost bricks");
-  // Taps of the outermost active cells must still hit existing bricks.
+  // Taps of the outermost active cells must still hit existing bricks
+  // (the plan itself validates the active region's own brick cover).
   {
     const Box tap_region{
         {floor_div(active.lo.x + ext.lo[0], BD::bx),
@@ -106,27 +99,25 @@ void apply_bricks_impl(BD, const Expr& expr, BrickedArray& out,
                 "stencil taps reach beyond the ghost bricks");
   }
 
-  const Vec3 bl = brick_region.lo, bh = brick_region.hi;
-#pragma omp parallel for collapse(2) schedule(static)
-  for (index_t bz = bl.z; bz < bh.z; ++bz) {
-    for (index_t by = bl.y; by < bh.y; ++by) {
-      for (index_t bx = bl.x; bx < bh.x; ++bx) {
-        const std::int32_t id = grid.storage_id({bx, by, bz});
-        GMG_ASSERT(id >= 0);
+  const auto plan = grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
+  real_t* const out_base = out.data();
+  for_each_plan_brick<BD>(
+      "dsl.apply", *plan, [&](const BrickPlanItem& it, auto full) {
+        constexpr bool kFull = decltype(full)::value;
+        const std::int32_t id = it.id;
         real_t* __restrict ob =
-            out.data() + static_cast<std::size_t>(id) * BD::volume;
+            out_base + static_cast<std::size_t>(id) * BD::volume;
 
-        // Clip the active cell region to this brick (local coords).
-        const index_t cx = bx * BD::bx, cy = by * BD::by, cz = bz * BD::bz;
-        const index_t ilo = std::max<index_t>(0, active.lo.x - cx);
-        const index_t ihi = std::min<index_t>(BD::bx, active.hi.x - cx);
-        const index_t jlo = std::max<index_t>(0, active.lo.y - cy);
-        const index_t jhi = std::min<index_t>(BD::by, active.hi.y - cy);
-        const index_t klo = std::max<index_t>(0, active.lo.z - cz);
-        const index_t khi = std::min<index_t>(BD::bz, active.hi.z - cz);
+        // Active cell region clipped to this brick (local coords) —
+        // whole-brick constants for the plan's full bricks.
+        const index_t ilo = kFull ? 0 : it.ilo;
+        const index_t ihi = kFull ? BD::bx : it.ihi;
+        const index_t jlo = kFull ? 0 : it.jlo;
+        const index_t jhi = kFull ? BD::by : it.jhi;
+        const index_t klo = kFull ? 0 : it.klo;
+        const index_t khi = kFull ? BD::bz : it.khi;
 
-        const BrickAccessor<BD, kSlots> slow{bases, grid.adjacency(id).data(),
-                                             id};
+        const BrickAccessor<BD, kSlots> slow{bases, it.adj, id};
         std::array<const real_t*, kSlots> brick_bases{};
         for (int s = 0; s < kSlots; ++s)
           brick_bases[static_cast<std::size_t>(s)] =
@@ -181,9 +172,7 @@ void apply_bricks_impl(BD, const Expr& expr, BrickedArray& out,
             }
           }
         }
-      }
-    }
-  }
+      });
 }
 
 }  // namespace detail

@@ -5,6 +5,7 @@
 // emitted code is just the unrolled, coefficient-factored loop body.
 #pragma once
 
+#include "brick/brick_plan.hpp"
 #include "brick/bricked_array.hpp"
 
 namespace gmg::dsl::gen {
@@ -49,6 +50,21 @@ struct BrickCtx {
   }
 };
 
+/// The tap-reach check shared by all generated kernels: every tap of
+/// the outermost active cells must land in an existing brick.
+template <typename BD>
+void require_tap_reach(const BrickGrid& grid, const Box& active, int radius) {
+  const Box tap_region{
+      {floor_div(active.lo.x - radius, BD::bx),
+       floor_div(active.lo.y - radius, BD::by),
+       floor_div(active.lo.z - radius, BD::bz)},
+      {floor_div(active.hi.x - 1 + radius, BD::bx) + 1,
+       floor_div(active.hi.y - 1 + radius, BD::by) + 1,
+       floor_div(active.hi.z - 1 + radius, BD::bz) + 1}};
+  GMG_REQUIRE(grid.extended_box().covers(tap_region),
+              "stencil taps reach beyond the ghost bricks");
+}
+
 /// Brick range covered by an active cell region, with the tap-reach
 /// check shared by all generated kernels.
 template <typename BD>
@@ -60,16 +76,19 @@ Box generated_brick_region(const BrickGrid& grid, const Box& active,
       {floor_div(active.hi.x - 1, BD::bx) + 1,
        floor_div(active.hi.y - 1, BD::by) + 1,
        floor_div(active.hi.z - 1, BD::bz) + 1}};
-  const Box tap_region{
-      {floor_div(active.lo.x - radius, BD::bx),
-       floor_div(active.lo.y - radius, BD::by),
-       floor_div(active.lo.z - radius, BD::bz)},
-      {floor_div(active.hi.x - 1 + radius, BD::bx) + 1,
-       floor_div(active.hi.y - 1 + radius, BD::by) + 1,
-       floor_div(active.hi.z - 1 + radius, BD::bz) + 1}};
-  GMG_REQUIRE(grid.extended_box().covers(tap_region),
-              "stencil taps reach beyond the ghost bricks");
+  require_tap_reach<BD>(grid, active, radius);
   return brick_region;
+}
+
+/// Run a generated per-brick body over the grid's cached iteration
+/// plan on the kernel runtime. `body(item, is_full)` is invoked for
+/// every brick covering `active` (is_full as in for_each_plan_brick).
+template <typename BD, typename Fn>
+void run_plan(const BrickGrid& grid, const Box& active, int radius,
+              const char* name, Fn&& body) {
+  require_tap_reach<BD>(grid, active, radius);
+  const auto plan = grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
+  for_each_plan_brick<BD>(name, *plan, body);
 }
 
 }  // namespace gmg::dsl::gen

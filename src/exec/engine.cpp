@@ -1,5 +1,7 @@
 #include "exec/engine.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -9,6 +11,13 @@
 #include "trace/trace.hpp"
 
 namespace gmg::exec {
+
+namespace {
+thread_local Engine* tls_engine = nullptr;
+}  // namespace
+
+Engine* this_thread_engine() { return tls_engine; }
+
 namespace detail {
 
 /// Shared completion state behind an Event handle. Fires exactly once;
@@ -78,12 +87,31 @@ struct StreamState {
 
 }  // namespace
 
+/// One in-flight parallel_for_chunks call. Chunks are claimed by an
+/// atomic ticket; the submitting thread and any free workers race for
+/// them. The `fn` pointer targets the caller's frame — safe because
+/// the caller blocks until done == chunks, and no thread dereferences
+/// it without first holding a valid (< chunks) ticket.
+struct ParallelJob {
+  const char* name = nullptr;
+  std::int64_t n = 0;
+  int chunks = 0;
+  int rank = 0;
+  const std::function<void(int, std::int64_t, std::int64_t)>* fn = nullptr;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first exception wins; guarded by mu
+};
+
 struct EngineState {
   std::mutex mu;
-  std::condition_variable work_cv;  // workers: ready stream or stop
+  std::condition_variable work_cv;  // workers: ready stream, job or stop
   std::condition_variable sync_cv;  // sync() callers: stream drained
   std::vector<std::unique_ptr<StreamState>> streams;
   std::deque<int> ready;
+  std::deque<std::shared_ptr<ParallelJob>> jobs;
   bool stop = false;
   std::uint64_t tasks_run = 0;
 
@@ -121,6 +149,28 @@ void unpark_stream(const std::weak_ptr<EngineState>& weak, int sid,
   st->sync_cv.notify_all();
 }
 
+/// Claim and execute chunks of `job` until its ticket runs out. Runs
+/// with no engine lock held; the per-chunk work happens entirely on
+/// this thread. The final done-increment is the completion signal the
+/// submitting thread waits on.
+void run_job_chunks(ParallelJob& job) {
+  for (;;) {
+    const int c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) return;
+    try {
+      (*job.fn)(c, Engine::chunk_bound(job.n, job.chunks, c),
+                Engine::chunk_bound(job.n, job.chunks, c + 1));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.chunks) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.cv.notify_all();
+    }
+  }
+}
+
 void run_task(const Task& task) {
   // Attribute the span to the *submitting* thread's simulated rank, so
   // overlapped compute lands on that rank's timeline row next to its
@@ -134,8 +184,27 @@ void run_task(const Task& task) {
 void worker_loop(const std::shared_ptr<EngineState>& st) {
   std::unique_lock<std::mutex> lock(st->mu);
   for (;;) {
-    st->work_cv.wait(lock, [&] { return st->stop || !st->ready.empty(); });
-    if (st->ready.empty()) return;  // stop && no work
+    st->work_cv.wait(lock, [&] {
+      return st->stop || !st->ready.empty() || !st->jobs.empty();
+    });
+    if (st->ready.empty() && st->jobs.empty()) return;  // stop && no work
+    // parallel_for jobs first: their submitter is blocked on them.
+    if (!st->jobs.empty()) {
+      std::shared_ptr<ParallelJob> job = st->jobs.front();
+      if (job->next.load(std::memory_order_relaxed) >= job->chunks) {
+        st->jobs.pop_front();  // exhausted; retire and look again
+        continue;
+      }
+      lock.unlock();
+      {
+        trace::set_rank(job->rank);
+        trace::TraceSpan span(job->name ? job->name : "exec.parallel_for",
+                              trace::Category::kExec);
+        run_job_chunks(*job);
+      }
+      lock.lock();
+      continue;
+    }
     const int sid = st->ready.front();
     st->ready.pop_front();
     StreamState& s = *st->streams[static_cast<std::size_t>(sid)];
@@ -192,9 +261,17 @@ Event::Event(std::shared_ptr<detail::EventState> s) : state_(std::move(s)) {}
 Engine::Engine(int workers) {
   GMG_REQUIRE(workers >= 1, "exec::Engine needs at least one worker");
   state_ = std::make_shared<detail::EngineState>();
+  // A lone worker on a single-CPU host cannot add parallelism to a
+  // blocking parallel_for — the submitter would only trade chunks back
+  // and forth with it through the scheduler. Run those chunk plans
+  // inline instead (identical results: boundaries don't change).
+  solo_ = workers == 1 && std::thread::hardware_concurrency() <= 1;
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([st = state_] { detail::worker_loop(st); });
+    workers_.emplace_back([this, st = state_] {
+      tls_engine = this;
+      detail::worker_loop(st);
+    });
   }
 }
 
@@ -279,6 +356,55 @@ void Engine::sync() {
       if (!state_->drained(*s)) return false;
     return true;
   });
+}
+
+int Engine::plan_chunks(std::int64_t n, std::int64_t grain) {
+  if (n <= 0) return 0;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  return static_cast<int>(
+      std::clamp<std::int64_t>(n / g, 1, kMaxChunks));
+}
+
+std::int64_t Engine::chunk_bound(std::int64_t n, int chunks, int c) {
+  return n * c / chunks;
+}
+
+void Engine::parallel_for_chunks(
+    const char* name, std::int64_t n, std::int64_t grain,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const int chunks = plan_chunks(n, grain);
+  if (chunks == 1 || solo_) {
+    for (int c = 0; c < chunks; ++c) {
+      fn(c, chunk_bound(n, chunks, c), chunk_bound(n, chunks, c + 1));
+    }
+    return;
+  }
+  auto job = std::make_shared<detail::ParallelJob>();
+  job->name = name;
+  job->n = n;
+  job->chunks = chunks;
+  job->rank = trace::current_rank();
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->jobs.push_back(job);
+  }
+  state_->work_cv.notify_all();
+  detail::run_job_chunks(*job);  // the submitter always participates
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->chunks;
+    });
+  }
+  {
+    // Retire the job if no worker got around to popping it.
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto& jobs = state_->jobs;
+    jobs.erase(std::remove(jobs.begin(), jobs.end(), job), jobs.end());
+  }
+  if (job->error) std::rethrow_exception(job->error);
 }
 
 int Engine::workers() const { return static_cast<int>(workers_.size()); }

@@ -108,9 +108,43 @@ class Engine {
   /// Total tasks executed (record/wait markers excluded).
   std::uint64_t tasks_run() const;
 
+  /// Hard upper bound on chunks per parallel_for_chunks call. A fixed
+  /// constant on purpose: chunk boundaries must never depend on the
+  /// worker count, or chunked reductions stop being reproducible.
+  static constexpr int kMaxChunks = 64;
+
+  /// Number of chunks a range of `n` items splits into when each chunk
+  /// should hold at least `grain` items: clamp(n/grain, 1, kMaxChunks).
+  /// Pure function of (n, grain) — see kMaxChunks.
+  static int plan_chunks(std::int64_t n, std::int64_t grain);
+
+  /// Start index of chunk `c` of `chunks` over [0, n): n*c/chunks.
+  /// chunk_bound(n, chunks, chunks) == n, so chunk c spans
+  /// [chunk_bound(c), chunk_bound(c+1)).
+  static std::int64_t chunk_bound(std::int64_t n, int chunks, int c);
+
+  /// Data-parallel loop over [0, n): runs `fn(chunk, begin, end)` once
+  /// per chunk of the (n, grain) chunk plan. The calling thread always
+  /// participates (claiming chunks alongside the workers), so the call
+  /// cannot deadlock even when submitted from inside a stream task —
+  /// nested use shares this engine's pool. Blocking: returns once every
+  /// chunk has run. Chunks may execute in any order on any thread;
+  /// chunk *boundaries* are worker-count independent. If any chunk
+  /// throws, the first exception is rethrown here after all claimed
+  /// chunks finish. Single-chunk plans run inline with no pool traffic.
+  void parallel_for_chunks(
+      const char* name, std::int64_t n, std::int64_t grain,
+      const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+
  private:
   std::shared_ptr<detail::EngineState> state_;
   std::vector<std::thread> workers_;
+  bool solo_ = false;  // 1 worker on a 1-CPU host: run chunks inline
 };
+
+/// The engine whose pool the current thread belongs to, or nullptr off
+/// the pool. Lets nested parallel_for calls from a stream task target
+/// the owning engine instead of the process default.
+Engine* this_thread_engine();
 
 }  // namespace gmg::exec

@@ -3,8 +3,10 @@
 #include <cmath>
 #include <cstring>
 
+#include "brick/brick_plan.hpp"
 #include "dsl/apply_brick.hpp"
 #include "dsl/stencils.hpp"
+#include "exec/runtime.hpp"
 #include "trace/trace.hpp"
 
 namespace gmg {
@@ -23,43 +25,46 @@ inline std::uint64_t box_points(const Box& b) {
 
 /// Visit the contiguous rows of `active` clipped to each brick:
 /// fn(flat_base_index, ilo, ihi) where the row occupies
-/// [flat_base_index + ilo, flat_base_index + ihi).
+/// [flat_base_index + ilo, flat_base_index + ihi). Full bricks of the
+/// cached iteration plan collapse to ONE call covering the whole brick
+/// (base, 0, BD::volume) — element-wise kernels don't care about row
+/// structure, so the straight-line loop replaces bz*by row calls.
 template <typename BD, typename Fn>
-void for_each_row(BD, const BrickGrid& grid, const Box& active, Fn&& fn) {
-  const Box brick_region{
-      {floor_div(active.lo.x, BD::bx), floor_div(active.lo.y, BD::by),
-       floor_div(active.lo.z, BD::bz)},
-      {floor_div(active.hi.x - 1, BD::bx) + 1,
-       floor_div(active.hi.y - 1, BD::by) + 1,
-       floor_div(active.hi.z - 1, BD::bz) + 1}};
-  GMG_REQUIRE(grid.extended_box().covers(brick_region),
-              "active region extends beyond the ghost bricks");
-  const Vec3 bl = brick_region.lo, bh = brick_region.hi;
-#pragma omp parallel for collapse(2) schedule(static)
-  for (index_t bz = bl.z; bz < bh.z; ++bz) {
-    for (index_t by = bl.y; by < bh.y; ++by) {
-      for (index_t bx = bl.x; bx < bh.x; ++bx) {
-        const std::int32_t id = grid.storage_id({bx, by, bz});
-        GMG_ASSERT(id >= 0);
-        const index_t cx = bx * BD::bx, cy = by * BD::by, cz = bz * BD::bz;
-        const index_t ilo = std::max<index_t>(0, active.lo.x - cx);
-        const index_t ihi = std::min<index_t>(BD::bx, active.hi.x - cx);
-        const index_t jlo = std::max<index_t>(0, active.lo.y - cy);
-        const index_t jhi = std::min<index_t>(BD::by, active.hi.y - cy);
-        const index_t klo = std::max<index_t>(0, active.lo.z - cz);
-        const index_t khi = std::min<index_t>(BD::bz, active.hi.z - cz);
-        const std::size_t brick_base =
-            static_cast<std::size_t>(id) * BD::volume;
-        for (index_t lk = klo; lk < khi; ++lk) {
-          for (index_t lj = jlo; lj < jhi; ++lj) {
-            fn(brick_base + static_cast<std::size_t>(
-                                (lk * BD::by + lj) * BD::bx),
-               ilo, ihi);
-          }
+void for_each_row(BD, const char* name, const BrickGrid& grid,
+                  const Box& active, Fn&& fn) {
+  const auto plan =
+      grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
+  for_each_plan_brick<BD>(name, *plan, [&](const BrickPlanItem& it,
+                                           auto full) {
+    const std::size_t brick_base = static_cast<std::size_t>(it.id) * BD::volume;
+    if constexpr (decltype(full)::value) {
+      fn(brick_base, index_t{0}, static_cast<index_t>(BD::volume));
+    } else {
+      for (index_t lk = it.klo; lk < it.khi; ++lk) {
+        for (index_t lj = it.jlo; lj < it.jhi; ++lj) {
+          fn(brick_base +
+                 static_cast<std::size_t>((lk * BD::by + lj) * BD::bx),
+             static_cast<index_t>(it.ilo), static_cast<index_t>(it.ihi));
         }
       }
     }
-  }
+  });
+}
+
+/// The brick-coordinate cover of the taps of `active` at stencil
+/// `radius` must lie within the grid (the active region grown by the
+/// radius, in bricks).
+template <typename BD>
+void require_taps_in_grid(BD, const BrickGrid& grid, const Box& active,
+                          index_t radius) {
+  const Box tap_region{{floor_div(active.lo.x - radius, BD::bx),
+                        floor_div(active.lo.y - radius, BD::by),
+                        floor_div(active.lo.z - radius, BD::bz)},
+                       {floor_div(active.hi.x - 1 + radius, BD::bx) + 1,
+                        floor_div(active.hi.y - 1 + radius, BD::by) + 1,
+                        floor_div(active.hi.z - 1 + radius, BD::bz) + 1}};
+  GMG_REQUIRE(grid.extended_box().covers(tap_region),
+              "stencil taps reach beyond the ghost bricks");
 }
 
 }  // namespace
@@ -72,7 +77,8 @@ namespace {
 /// into adjacent bricks where needed); the row body is then a pure
 /// unit-stride SIMD loop with scalar patch-ups only at the two
 /// x-boundary cells. The generic DSL engine (dsl::apply) remains the
-/// fallback for arbitrary stencils.
+/// fallback for arbitrary stencils. Full bricks of the iteration plan
+/// instantiate the body with compile-time whole-brick bounds.
 template <typename BD>
 void apply_op_7pt(BD, BrickedArray& Ax, const BrickedArray& x, real_t alpha,
                   real_t beta, const Box& active) {
@@ -81,104 +87,82 @@ void apply_op_7pt(BD, BrickedArray& Ax, const BrickedArray& x, real_t alpha,
   const real_t* __restrict xp = x.data();
   real_t* __restrict op = Ax.data();
 
-  const Box brick_region{
-      {floor_div(active.lo.x, BD::bx), floor_div(active.lo.y, BD::by),
-       floor_div(active.lo.z, BD::bz)},
-      {floor_div(active.hi.x - 1, BD::bx) + 1,
-       floor_div(active.hi.y - 1, BD::by) + 1,
-       floor_div(active.hi.z - 1, BD::bz) + 1}};
-  // Every tap of the outermost active cells must land in an existing
-  // brick (radius 1: the active region grown by one cell).
-  const Box tap_region{
-      {floor_div(active.lo.x - 1, BD::bx), floor_div(active.lo.y - 1, BD::by),
-       floor_div(active.lo.z - 1, BD::bz)},
-      {floor_div(active.hi.x, BD::bx) + 1,
-       floor_div(active.hi.y, BD::by) + 1,
-       floor_div(active.hi.z, BD::bz) + 1}};
-  GMG_REQUIRE(grid.extended_box().covers(tap_region),
-              "stencil taps reach beyond the ghost bricks");
+  require_taps_in_grid(BD{}, grid, active, 1);
+  const auto plan = grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
 
-  const Vec3 bl = brick_region.lo, bh = brick_region.hi;
-#pragma omp parallel for collapse(2) schedule(static)
-  for (index_t bz = bl.z; bz < bh.z; ++bz) {
-    for (index_t by = bl.y; by < bh.y; ++by) {
-      for (index_t bx = bl.x; bx < bh.x; ++bx) {
-        const std::int32_t id = grid.storage_id({bx, by, bz});
-        GMG_ASSERT(id >= 0);
-        const auto& adj = grid.adjacency(id);
-        const auto brick_of = [&](int dx, int dy, int dz) {
-          const std::int32_t b = adj[direction_index(dx, dy, dz)];
-          GMG_ASSERT(b >= 0);
-          return xp + static_cast<std::size_t>(b) * BD::volume;
-        };
-        const real_t* __restrict xb = brick_of(0, 0, 0);
-        real_t* __restrict ob =
-            op + static_cast<std::size_t>(id) * BD::volume;
+  for_each_plan_brick<BD>("kernel.applyOp", *plan, [&](const BrickPlanItem& it,
+                                                       auto full) {
+    constexpr bool kFull = decltype(full)::value;
+    const auto& adj = it.adj;
+    const auto brick_of = [&](int dx, int dy, int dz) {
+      const std::int32_t b = adj[direction_index(dx, dy, dz)];
+      GMG_ASSERT(b >= 0);
+      return xp + static_cast<std::size_t>(b) * BD::volume;
+    };
+    const real_t* __restrict xb = xp + static_cast<std::size_t>(it.id) *
+                                           BD::volume;
+    real_t* __restrict ob = op + static_cast<std::size_t>(it.id) * BD::volume;
 
-        const index_t cx = bx * BD::bx, cy = by * BD::by, cz = bz * BD::bz;
-        const index_t ilo = std::max<index_t>(0, active.lo.x - cx);
-        const index_t ihi = std::min<index_t>(BD::bx, active.hi.x - cx);
-        const index_t jlo = std::max<index_t>(0, active.lo.y - cy);
-        const index_t jhi = std::min<index_t>(BD::by, active.hi.y - cy);
-        const index_t klo = std::max<index_t>(0, active.lo.z - cz);
-        const index_t khi = std::min<index_t>(BD::bz, active.hi.z - cz);
+    const index_t ilo = kFull ? 0 : it.ilo;
+    const index_t ihi = kFull ? BD::bx : it.ihi;
+    const index_t jlo = kFull ? 0 : it.jlo;
+    const index_t jhi = kFull ? BD::by : it.jhi;
+    const index_t klo = kFull ? 0 : it.klo;
+    const index_t khi = kFull ? BD::bz : it.khi;
 
-        constexpr index_t kRow = BD::bx;
-        constexpr index_t kPlane = BD::bx * BD::by;
-        const auto row_at = [&](const real_t* brick, index_t lj, index_t lk) {
-          return brick + lk * kPlane + lj * kRow;
-        };
+    constexpr index_t kRow = BD::bx;
+    constexpr index_t kPlane = BD::bx * BD::by;
+    const auto row_at = [&](const real_t* brick, index_t lj, index_t lk) {
+      return brick + lk * kPlane + lj * kRow;
+    };
 
-        for (index_t lk = klo; lk < khi; ++lk) {
-          for (index_t lj = jlo; lj < jhi; ++lj) {
-            const real_t* __restrict xr = row_at(xb, lj, lk);
-            const real_t* __restrict ym =
-                lj > 0 ? row_at(xb, lj - 1, lk)
-                       : row_at(brick_of(0, -1, 0), BD::by - 1, lk);
-            const real_t* __restrict yp =
-                lj < BD::by - 1 ? row_at(xb, lj + 1, lk)
-                                : row_at(brick_of(0, 1, 0), 0, lk);
-            const real_t* __restrict zm =
-                lk > 0 ? row_at(xb, lj, lk - 1)
-                       : row_at(brick_of(0, 0, -1), lj, BD::bz - 1);
-            const real_t* __restrict zp =
-                lk < BD::bz - 1 ? row_at(xb, lj, lk + 1)
-                                : row_at(brick_of(0, 0, 1), lj, 0);
-            real_t* __restrict orow = ob + lk * kPlane + lj * kRow;
+    for (index_t lk = klo; lk < khi; ++lk) {
+      for (index_t lj = jlo; lj < jhi; ++lj) {
+        const real_t* __restrict xr = row_at(xb, lj, lk);
+        const real_t* __restrict ym =
+            lj > 0 ? row_at(xb, lj - 1, lk)
+                   : row_at(brick_of(0, -1, 0), BD::by - 1, lk);
+        const real_t* __restrict yp =
+            lj < BD::by - 1 ? row_at(xb, lj + 1, lk)
+                            : row_at(brick_of(0, 1, 0), 0, lk);
+        const real_t* __restrict zm =
+            lk > 0 ? row_at(xb, lj, lk - 1)
+                   : row_at(brick_of(0, 0, -1), lj, BD::bz - 1);
+        const real_t* __restrict zp =
+            lk < BD::bz - 1 ? row_at(xb, lj, lk + 1)
+                            : row_at(brick_of(0, 0, 1), lj, 0);
+        real_t* __restrict orow = ob + lk * kPlane + lj * kRow;
 
-            // One SIMD core over [max(ilo,1), min(ihi,B-1)) plus
-            // scalar patch-ups at the two x-boundary cells. The tap
-            // summation order (xm + xp + ym + yp + zm + zp) is kept
-            // IDENTICAL between core and patches so that cells
-            // computed redundantly in ghost bricks (communication-
-            // avoiding sweeps) are bitwise equal to the owning rank's
-            // interior computation.
-            const index_t core_lo = std::max<index_t>(ilo, 1);
-            const index_t core_hi = std::min<index_t>(ihi, BD::bx - 1);
+        // One SIMD core over [max(ilo,1), min(ihi,B-1)) plus
+        // scalar patch-ups at the two x-boundary cells. The tap
+        // summation order (xm + xp + ym + yp + zm + zp) is kept
+        // IDENTICAL between core and patches so that cells
+        // computed redundantly in ghost bricks (communication-
+        // avoiding sweeps) are bitwise equal to the owning rank's
+        // interior computation.
+        const index_t core_lo = kFull ? 1 : std::max<index_t>(ilo, 1);
+        const index_t core_hi =
+            kFull ? BD::bx - 1 : std::min<index_t>(ihi, BD::bx - 1);
 #pragma omp simd
-            for (index_t li = core_lo; li < core_hi; ++li) {
-              orow[li] = alpha * xr[li] +
-                         beta * (xr[li - 1] + xr[li + 1] + ym[li] + yp[li] +
-                                 zm[li] + zp[li]);
-            }
-            if (ilo == 0) {
-              const real_t xm =
-                  row_at(brick_of(-1, 0, 0), lj, lk)[BD::bx - 1];
-              orow[0] = alpha * xr[0] +
-                        beta * (xm + xr[1] + ym[0] + yp[0] + zm[0] + zp[0]);
-            }
-            if (ihi == BD::bx) {
-              constexpr index_t e = BD::bx - 1;
-              const real_t xpv = row_at(brick_of(1, 0, 0), lj, lk)[0];
-              orow[e] = alpha * xr[e] +
-                        beta * (xr[e - 1] + xpv + ym[e] + yp[e] + zm[e] +
-                                zp[e]);
-            }
-          }
+        for (index_t li = core_lo; li < core_hi; ++li) {
+          orow[li] = alpha * xr[li] +
+                     beta * (xr[li - 1] + xr[li + 1] + ym[li] + yp[li] +
+                             zm[li] + zp[li]);
+        }
+        if (kFull || ilo == 0) {
+          const real_t xm = row_at(brick_of(-1, 0, 0), lj, lk)[BD::bx - 1];
+          orow[0] = alpha * xr[0] +
+                    beta * (xm + xr[1] + ym[0] + yp[0] + zm[0] + zp[0]);
+        }
+        if (kFull || ihi == BD::bx) {
+          constexpr index_t e = BD::bx - 1;
+          const real_t xpv = row_at(brick_of(1, 0, 0), lj, lk)[0];
+          orow[e] = alpha * xr[e] +
+                    beta * (xr[e - 1] + xpv + ym[e] + yp[e] + zm[e] + zp[e]);
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -201,7 +185,7 @@ void smooth(BrickedArray& x, const BrickedArray& Ax, const BrickedArray& b,
     real_t* __restrict xp = x.data();
     const real_t* __restrict axp = Ax.data();
     const real_t* __restrict bp = b.data();
-    for_each_row(bd, x.grid(), active,
+    for_each_row(bd, "kernel.smooth", x.grid(), active,
                  [&](std::size_t o, index_t ilo, index_t ihi) {
 #pragma omp simd
                    for (index_t i = ilo; i < ihi; ++i) {
@@ -220,7 +204,7 @@ void smooth_residual(BrickedArray& x, BrickedArray& r, const BrickedArray& Ax,
     real_t* __restrict rp = r.data();
     const real_t* __restrict axp = Ax.data();
     const real_t* __restrict bp = b.data();
-    for_each_row(bd, x.grid(), active,
+    for_each_row(bd, "kernel.smoothResidual", x.grid(), active,
                  [&](std::size_t o, index_t ilo, index_t ihi) {
 #pragma omp simd
                    for (index_t i = ilo; i < ihi; ++i) {
@@ -241,7 +225,7 @@ void residual(BrickedArray& r, const BrickedArray& b, const BrickedArray& Ax,
     real_t* __restrict rp = r.data();
     const real_t* __restrict axp = Ax.data();
     const real_t* __restrict bp = b.data();
-    for_each_row(bd, r.grid(), active,
+    for_each_row(bd, "kernel.residual", r.grid(), active,
                  [&](std::size_t o, index_t ilo, index_t ihi) {
 #pragma omp simd
                    for (index_t i = ilo; i < ihi; ++i) {
@@ -267,41 +251,43 @@ void restriction(BrickedArray& coarse, const BrickedArray& fine) {
     const BrickGrid& cg = coarse.grid();
     const real_t* __restrict fp = fine.data();
     real_t* __restrict cp = coarse.data();
-    const Vec3 nb = fg.interior_extent();
-#pragma omp parallel for collapse(2) schedule(static)
-    for (index_t bz = 0; bz < nb.z; ++bz) {
-      for (index_t by = 0; by < nb.y; ++by) {
-        for (index_t bx = 0; bx < nb.x; ++bx) {
-          const std::int32_t fid = fg.storage_id({bx, by, bz});
-          const std::int32_t cid =
-              cg.storage_id({bx / 2, by / 2, bz / 2});
-          GMG_ASSERT(fid >= 0 && cid >= 0);
-          // In-coarse-brick base offset of this fine brick's image.
-          const index_t ox = (bx % 2) * (BD::bx / 2);
-          const index_t oy = (by % 2) * (BD::by / 2);
-          const index_t oz = (bz % 2) * (BD::bz / 2);
-          const real_t* fb =
-              fp + static_cast<std::size_t>(fid) * BD::volume;
-          real_t* cb = cp + static_cast<std::size_t>(cid) * BD::volume;
-          for (index_t lk = 0; lk < BD::bz; lk += 2) {
-            for (index_t lj = 0; lj < BD::by; lj += 2) {
-              const real_t* r0 = fb + (lk * BD::by + lj) * BD::bx;
-              const real_t* r1 = r0 + BD::bx;            // j+1
-              const real_t* r2 = r0 + BD::by * BD::bx;   // k+1
-              const real_t* r3 = r2 + BD::bx;            // j+1, k+1
-              real_t* crow =
-                  cb + ((oz + lk / 2) * BD::by + (oy + lj / 2)) * BD::bx + ox;
+    // Interior fine bricks are ids [0, num_interior) in lexicographic
+    // order; eight fine bricks write disjoint octants of one coarse
+    // brick, so any chunking is race-free.
+    exec::parallel_for(
+        "kernel.restriction", fg.num_interior(), exec::brick_grain(BD::volume),
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t fid = lo; fid < hi; ++fid) {
+            const Vec3 bc = fg.coord_of(static_cast<std::int32_t>(fid));
+            const index_t bx = bc.x, by = bc.y, bz = bc.z;
+            const std::int32_t cid = cg.storage_id({bx / 2, by / 2, bz / 2});
+            GMG_ASSERT(cid >= 0);
+            // In-coarse-brick base offset of this fine brick's image.
+            const index_t ox = (bx % 2) * (BD::bx / 2);
+            const index_t oy = (by % 2) * (BD::by / 2);
+            const index_t oz = (bz % 2) * (BD::bz / 2);
+            const real_t* fb = fp + static_cast<std::size_t>(fid) * BD::volume;
+            real_t* cb = cp + static_cast<std::size_t>(cid) * BD::volume;
+            for (index_t lk = 0; lk < BD::bz; lk += 2) {
+              for (index_t lj = 0; lj < BD::by; lj += 2) {
+                const real_t* r0 = fb + (lk * BD::by + lj) * BD::bx;
+                const real_t* r1 = r0 + BD::bx;           // j+1
+                const real_t* r2 = r0 + BD::by * BD::bx;  // k+1
+                const real_t* r3 = r2 + BD::bx;           // j+1, k+1
+                real_t* crow = cb +
+                               ((oz + lk / 2) * BD::by + (oy + lj / 2)) *
+                                   BD::bx +
+                               ox;
 #pragma omp simd
-              for (index_t li = 0; li < BD::bx / 2; ++li) {
-                const index_t f = 2 * li;
-                crow[li] = 0.125 * (r0[f] + r0[f + 1] + r1[f] + r1[f + 1] +
-                                    r2[f] + r2[f + 1] + r3[f] + r3[f + 1]);
+                for (index_t li = 0; li < BD::bx / 2; ++li) {
+                  const index_t f = 2 * li;
+                  crow[li] = 0.125 * (r0[f] + r0[f + 1] + r1[f] + r1[f + 1] +
+                                      r2[f] + r2[f + 1] + r3[f] + r3[f + 1]);
+                }
               }
             }
           }
-        }
-      }
-    }
+        });
   });
 }
 
@@ -319,35 +305,33 @@ void interpolation_increment(BrickedArray& fine, const BrickedArray& coarse) {
     const BrickGrid& cg = coarse.grid();
     real_t* __restrict fp = fine.data();
     const real_t* __restrict cp = coarse.data();
-    const Vec3 nb = fg.interior_extent();
-#pragma omp parallel for collapse(2) schedule(static)
-    for (index_t bz = 0; bz < nb.z; ++bz) {
-      for (index_t by = 0; by < nb.y; ++by) {
-        for (index_t bx = 0; bx < nb.x; ++bx) {
-          const std::int32_t fid = fg.storage_id({bx, by, bz});
-          const std::int32_t cid =
-              cg.storage_id({bx / 2, by / 2, bz / 2});
-          GMG_ASSERT(fid >= 0 && cid >= 0);
-          const index_t ox = (bx % 2) * (BD::bx / 2);
-          const index_t oy = (by % 2) * (BD::by / 2);
-          const index_t oz = (bz % 2) * (BD::bz / 2);
-          real_t* fb = fp + static_cast<std::size_t>(fid) * BD::volume;
-          const real_t* cb =
-              cp + static_cast<std::size_t>(cid) * BD::volume;
-          for (index_t lk = 0; lk < BD::bz; ++lk) {
-            for (index_t lj = 0; lj < BD::by; ++lj) {
-              real_t* frow = fb + (lk * BD::by + lj) * BD::bx;
-              const real_t* crow =
-                  cb + ((oz + lk / 2) * BD::by + (oy + lj / 2)) * BD::bx + ox;
+    exec::parallel_for(
+        "kernel.interpIncrement", fg.num_interior(),
+        exec::brick_grain(BD::volume), [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t fid = lo; fid < hi; ++fid) {
+            const Vec3 bc = fg.coord_of(static_cast<std::int32_t>(fid));
+            const index_t bx = bc.x, by = bc.y, bz = bc.z;
+            const std::int32_t cid = cg.storage_id({bx / 2, by / 2, bz / 2});
+            GMG_ASSERT(cid >= 0);
+            const index_t ox = (bx % 2) * (BD::bx / 2);
+            const index_t oy = (by % 2) * (BD::by / 2);
+            const index_t oz = (bz % 2) * (BD::bz / 2);
+            real_t* fb = fp + static_cast<std::size_t>(fid) * BD::volume;
+            const real_t* cb = cp + static_cast<std::size_t>(cid) * BD::volume;
+            for (index_t lk = 0; lk < BD::bz; ++lk) {
+              for (index_t lj = 0; lj < BD::by; ++lj) {
+                real_t* frow = fb + (lk * BD::by + lj) * BD::bx;
+                const real_t* crow =
+                    cb +
+                    ((oz + lk / 2) * BD::by + (oy + lj / 2)) * BD::bx + ox;
 #pragma omp simd
-              for (index_t li = 0; li < BD::bx; ++li) {
-                frow[li] += crow[li / 2];
+                for (index_t li = 0; li < BD::bx; ++li) {
+                  frow[li] += crow[li / 2];
+                }
               }
             }
           }
-        }
-      }
-    }
+        });
   });
 }
 
@@ -365,48 +349,35 @@ void gs_color_sweep(BrickedArray& x, const BrickedArray& b, real_t alpha,
     real_t* __restrict xp = x.data();
     const real_t* __restrict bp = b.data();
 
-    const Box brick_region{
-        {floor_div(active.lo.x, BD::bx), floor_div(active.lo.y, BD::by),
-         floor_div(active.lo.z, BD::bz)},
-        {floor_div(active.hi.x - 1, BD::bx) + 1,
-         floor_div(active.hi.y - 1, BD::by) + 1,
-         floor_div(active.hi.z - 1, BD::bz) + 1}};
-    const Box tap_region{{floor_div(active.lo.x - 1, BD::bx),
-                          floor_div(active.lo.y - 1, BD::by),
-                          floor_div(active.lo.z - 1, BD::bz)},
-                         {floor_div(active.hi.x, BD::bx) + 1,
-                          floor_div(active.hi.y, BD::by) + 1,
-                          floor_div(active.hi.z, BD::bz) + 1}};
-    GMG_REQUIRE(grid.extended_box().covers(tap_region),
-                "stencil taps reach beyond the ghost bricks");
+    require_taps_in_grid(bd, grid, active, 1);
+    const auto plan =
+        grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
 
-    const Vec3 bl = brick_region.lo, bh = brick_region.hi;
     // Same-color cells never neighbor each other on the checkerboard,
     // so bricks (and cells within a color) can update concurrently.
-#pragma omp parallel for collapse(2) schedule(static)
-    for (index_t bz = bl.z; bz < bh.z; ++bz) {
-      for (index_t by = bl.y; by < bh.y; ++by) {
-        for (index_t bx = bl.x; bx < bh.x; ++bx) {
-          const std::int32_t id = grid.storage_id({bx, by, bz});
-          GMG_ASSERT(id >= 0);
-          const auto& adj = grid.adjacency(id);
+    for_each_plan_brick<BD>(
+        "kernel.gsColorSweep", *plan, [&](const BrickPlanItem& it, auto full) {
+          constexpr bool kFull = decltype(full)::value;
+          const auto& adj = it.adj;
           const auto brick_of = [&](int dx, int dy, int dz) {
             const std::int32_t nb = adj[direction_index(dx, dy, dz)];
             GMG_ASSERT(nb >= 0);
             return xp + static_cast<std::size_t>(nb) * BD::volume;
           };
-          real_t* __restrict xb = xp + static_cast<std::size_t>(id) *
-                                           BD::volume;
+          real_t* __restrict xb =
+              xp + static_cast<std::size_t>(it.id) * BD::volume;
           const real_t* __restrict bb =
-              bp + static_cast<std::size_t>(id) * BD::volume;
+              bp + static_cast<std::size_t>(it.id) * BD::volume;
 
-          const index_t cx = bx * BD::bx, cy = by * BD::by, cz = bz * BD::bz;
-          const index_t ilo = std::max<index_t>(0, active.lo.x - cx);
-          const index_t ihi = std::min<index_t>(BD::bx, active.hi.x - cx);
-          const index_t jlo = std::max<index_t>(0, active.lo.y - cy);
-          const index_t jhi = std::min<index_t>(BD::by, active.hi.y - cy);
-          const index_t klo = std::max<index_t>(0, active.lo.z - cz);
-          const index_t khi = std::min<index_t>(BD::bz, active.hi.z - cz);
+          const Vec3 c = it.coord;
+          const index_t cx = c.x * BD::bx, cy = c.y * BD::by,
+                        cz = c.z * BD::bz;
+          const index_t ilo = kFull ? 0 : it.ilo;
+          const index_t ihi = kFull ? BD::bx : it.ihi;
+          const index_t jlo = kFull ? 0 : it.jlo;
+          const index_t jhi = kFull ? BD::by : it.jhi;
+          const index_t klo = kFull ? 0 : it.klo;
+          const index_t khi = kFull ? BD::bz : it.khi;
 
           constexpr index_t kRow = BD::bx;
           constexpr index_t kPlane = BD::bx * BD::by;
@@ -435,8 +406,7 @@ void gs_color_sweep(BrickedArray& x, const BrickedArray& b, real_t alpha,
               const index_t row_parity =
                   (origin.x + cx + origin.y + cy + lj + origin.z + cz + lk) &
                   1;
-              index_t first =
-                  ilo + (((color - row_parity - ilo) % 2) + 2) % 2;
+              index_t first = ilo + (((color - row_parity - ilo) % 2) + 2) % 2;
               for (index_t li = first; li < ihi; li += 2) {
                 const real_t xm =
                     li > 0 ? xr[li - 1]
@@ -450,68 +420,93 @@ void gs_color_sweep(BrickedArray& x, const BrickedArray& b, real_t alpha,
               }
             }
           }
-        }
-      }
-    }
+        });
   });
 }
 
 void init_zero(BrickedArray& a) {
-  std::memset(a.data(), 0, a.size() * sizeof(real_t));
+  real_t* __restrict p = a.data();
+  exec::parallel_for("kernel.initZero", static_cast<std::int64_t>(a.size()),
+                     exec::kElementGrain, [&](std::int64_t lo, std::int64_t hi) {
+                       std::memset(p + lo, 0,
+                                   static_cast<std::size_t>(hi - lo) *
+                                       sizeof(real_t));
+                     });
 }
 
 namespace {
 
 /// Contiguous interior storage range (interior bricks are ids
 /// [0, num_interior), each brick one dense block).
-std::size_t interior_span(const BrickedArray& a) {
-  return static_cast<std::size_t>(a.grid().num_interior()) *
-         static_cast<std::size_t>(a.shape().volume());
+std::int64_t interior_span(const BrickedArray& a) {
+  return static_cast<std::int64_t>(a.grid().num_interior()) *
+         static_cast<std::int64_t>(a.shape().volume());
 }
 
 }  // namespace
 
 real_t norm2_sq(const BrickedArray& a) {
   const real_t* __restrict p = a.data();
-  const std::size_t n = interior_span(a);
-  real_t sum = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : sum)
-  for (std::size_t i = 0; i < n; ++i) sum += p[i] * p[i];
-  return sum;
+  // Chunked tree reduction: per-chunk partial sums combined in fixed
+  // chunk order — bitwise reproducible at any worker count.
+  return exec::parallel_reduce_sum<real_t>(
+      "kernel.norm2", interior_span(a), exec::kElementGrain,
+      [&](std::int64_t lo, std::int64_t hi) {
+        real_t sum = 0.0;
+#pragma omp simd reduction(+ : sum)
+        for (std::int64_t i = lo; i < hi; ++i) sum += p[i] * p[i];
+        return sum;
+      });
 }
 
 real_t dot_interior(const BrickedArray& a, const BrickedArray& b) {
   GMG_REQUIRE(&a.grid() == &b.grid(), "fields must share a brick grid");
   const real_t* __restrict pa = a.data();
   const real_t* __restrict pb = b.data();
-  const std::size_t n = interior_span(a);
-  real_t sum = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : sum)
-  for (std::size_t i = 0; i < n; ++i) sum += pa[i] * pb[i];
-  return sum;
+  return exec::parallel_reduce_sum<real_t>(
+      "kernel.dot", interior_span(a), exec::kElementGrain,
+      [&](std::int64_t lo, std::int64_t hi) {
+        real_t sum = 0.0;
+#pragma omp simd reduction(+ : sum)
+        for (std::int64_t i = lo; i < hi; ++i) sum += pa[i] * pb[i];
+        return sum;
+      });
 }
 
 void axpy_interior(BrickedArray& y, real_t alpha, const BrickedArray& x) {
   GMG_REQUIRE(&y.grid() == &x.grid(), "fields must share a brick grid");
   real_t* __restrict py = y.data();
   const real_t* __restrict px = x.data();
-  const std::size_t n = interior_span(y);
-#pragma omp parallel for simd schedule(static)
-  for (std::size_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  exec::parallel_for("kernel.axpy", interior_span(y), exec::kElementGrain,
+                     [&](std::int64_t lo, std::int64_t hi) {
+#pragma omp simd
+                       for (std::int64_t i = lo; i < hi; ++i)
+                         py[i] += alpha * px[i];
+                     });
 }
 
 void xpay_interior(BrickedArray& y, const BrickedArray& x, real_t beta) {
   GMG_REQUIRE(&y.grid() == &x.grid(), "fields must share a brick grid");
   real_t* __restrict py = y.data();
   const real_t* __restrict px = x.data();
-  const std::size_t n = interior_span(y);
-#pragma omp parallel for simd schedule(static)
-  for (std::size_t i = 0; i < n; ++i) py[i] = px[i] + beta * py[i];
+  exec::parallel_for("kernel.xpay", interior_span(y), exec::kElementGrain,
+                     [&](std::int64_t lo, std::int64_t hi) {
+#pragma omp simd
+                       for (std::int64_t i = lo; i < hi; ++i)
+                         py[i] = px[i] + beta * py[i];
+                     });
 }
 
 void copy_interior(BrickedArray& dst, const BrickedArray& src) {
   GMG_REQUIRE(&dst.grid() == &src.grid(), "fields must share a brick grid");
-  std::memcpy(dst.data(), src.data(), interior_span(dst) * sizeof(real_t));
+  real_t* __restrict pd = dst.data();
+  const real_t* __restrict ps = src.data();
+  exec::parallel_for("kernel.copy", interior_span(dst), exec::kElementGrain,
+                     [&](std::int64_t lo, std::int64_t hi) {
+                       std::memcpy(pd + lo, ps + lo,
+                                   static_cast<std::size_t>(hi - lo) *
+                                       sizeof(real_t));
+                     });
 }
 
 void axpy(BrickedArray& y, real_t alpha, const BrickedArray& x,
@@ -519,7 +514,7 @@ void axpy(BrickedArray& y, real_t alpha, const BrickedArray& x,
   with_brick_dims(y.shape(), [&](auto bd) {
     real_t* __restrict py = y.data();
     const real_t* __restrict px = x.data();
-    for_each_row(bd, y.grid(), active,
+    for_each_row(bd, "kernel.axpyActive", y.grid(), active,
                  [&](std::size_t o, index_t ilo, index_t ihi) {
 #pragma omp simd
                    for (index_t i = ilo; i < ihi; ++i) {
@@ -534,7 +529,7 @@ void cheby_p_update(BrickedArray& p, const BrickedArray& r, real_t inv_diag,
   with_brick_dims(p.shape(), [&](auto bd) {
     real_t* __restrict pp = p.data();
     const real_t* __restrict pr = r.data();
-    for_each_row(bd, p.grid(), active,
+    for_each_row(bd, "kernel.chebyP", p.grid(), active,
                  [&](std::size_t o, index_t ilo, index_t ihi) {
 #pragma omp simd
                    for (index_t i = ilo; i < ihi; ++i) {
@@ -556,33 +551,33 @@ void interpolation_assign(BrickedArray& fine, const BrickedArray& coarse) {
     const BrickGrid& cg = coarse.grid();
     real_t* __restrict fp = fine.data();
     const real_t* __restrict cp = coarse.data();
-    const Vec3 nb = fg.interior_extent();
-#pragma omp parallel for collapse(2) schedule(static)
-    for (index_t bz = 0; bz < nb.z; ++bz) {
-      for (index_t by = 0; by < nb.y; ++by) {
-        for (index_t bx = 0; bx < nb.x; ++bx) {
-          const std::int32_t fid = fg.storage_id({bx, by, bz});
-          const std::int32_t cid = cg.storage_id({bx / 2, by / 2, bz / 2});
-          GMG_ASSERT(fid >= 0 && cid >= 0);
-          const index_t ox = (bx % 2) * (BD::bx / 2);
-          const index_t oy = (by % 2) * (BD::by / 2);
-          const index_t oz = (bz % 2) * (BD::bz / 2);
-          real_t* fb = fp + static_cast<std::size_t>(fid) * BD::volume;
-          const real_t* cb = cp + static_cast<std::size_t>(cid) * BD::volume;
-          for (index_t lk = 0; lk < BD::bz; ++lk) {
-            for (index_t lj = 0; lj < BD::by; ++lj) {
-              real_t* frow = fb + (lk * BD::by + lj) * BD::bx;
-              const real_t* crow =
-                  cb + ((oz + lk / 2) * BD::by + (oy + lj / 2)) * BD::bx + ox;
+    exec::parallel_for(
+        "kernel.interpAssign", fg.num_interior(),
+        exec::brick_grain(BD::volume), [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t fid = lo; fid < hi; ++fid) {
+            const Vec3 bc = fg.coord_of(static_cast<std::int32_t>(fid));
+            const index_t bx = bc.x, by = bc.y, bz = bc.z;
+            const std::int32_t cid = cg.storage_id({bx / 2, by / 2, bz / 2});
+            GMG_ASSERT(cid >= 0);
+            const index_t ox = (bx % 2) * (BD::bx / 2);
+            const index_t oy = (by % 2) * (BD::by / 2);
+            const index_t oz = (bz % 2) * (BD::bz / 2);
+            real_t* fb = fp + static_cast<std::size_t>(fid) * BD::volume;
+            const real_t* cb = cp + static_cast<std::size_t>(cid) * BD::volume;
+            for (index_t lk = 0; lk < BD::bz; ++lk) {
+              for (index_t lj = 0; lj < BD::by; ++lj) {
+                real_t* frow = fb + (lk * BD::by + lj) * BD::bx;
+                const real_t* crow =
+                    cb +
+                    ((oz + lk / 2) * BD::by + (oy + lj / 2)) * BD::bx + ox;
 #pragma omp simd
-              for (index_t li = 0; li < BD::bx; ++li) {
-                frow[li] = crow[li / 2];
+                for (index_t li = 0; li < BD::bx; ++li) {
+                  frow[li] = crow[li / 2];
+                }
               }
             }
           }
-        }
-      }
-    }
+        });
   });
 }
 
@@ -592,33 +587,38 @@ void interpolation_trilinear_assign(BrickedArray& fine,
   GMG_REQUIRE(fe.x == 2 * ce.x && fe.y == 2 * ce.y && fe.z == 2 * ce.z,
               "fine extent must be twice the coarse extent");
   // Element-accessor implementation: this transfer runs once per FMG
-  // level, not in the V-cycle hot path.
+  // level, not in the V-cycle hot path. Chunked over k-planes (each
+  // fine cell writes only its own plane).
   const Box interior = Box::from_extent(fe);
-#pragma omp parallel for collapse(2) schedule(static)
-  for (index_t k = interior.lo.z; k < interior.hi.z; ++k) {
-    for (index_t j = interior.lo.y; j < interior.hi.y; ++j) {
-      for (index_t i = interior.lo.x; i < interior.hi.x; ++i) {
-        const index_t ci = floor_div(i, 2), cj = floor_div(j, 2),
-                      ck = floor_div(k, 2);
-        // Neighbor side per axis: a fine cell sits 1/4 coarse cell off
-        // its parent's center, toward -1 for even indices, +1 for odd.
-        const index_t si = (i % 2 == 0) ? -1 : 1;
-        const index_t sj = (j % 2 == 0) ? -1 : 1;
-        const index_t sk = (k % 2 == 0) ? -1 : 1;
-        real_t v = 0;
-        for (int dz = 0; dz < 2; ++dz) {
-          for (int dy = 0; dy < 2; ++dy) {
-            for (int dx = 0; dx < 2; ++dx) {
-              const real_t w = (dx ? 0.25 : 0.75) * (dy ? 0.25 : 0.75) *
-                               (dz ? 0.25 : 0.75);
-              v += w * coarse(ci + dx * si, cj + dy * sj, ck + dz * sk);
+  exec::parallel_for(
+      "kernel.interpTrilinear", fe.z, 1, [&](std::int64_t klo, std::int64_t khi) {
+        for (index_t k = static_cast<index_t>(klo);
+             k < static_cast<index_t>(khi); ++k) {
+          for (index_t j = interior.lo.y; j < interior.hi.y; ++j) {
+            for (index_t i = interior.lo.x; i < interior.hi.x; ++i) {
+              const index_t ci = floor_div(i, 2), cj = floor_div(j, 2),
+                            ck = floor_div(k, 2);
+              // Neighbor side per axis: a fine cell sits 1/4 coarse cell
+              // off its parent's center, toward -1 for even indices, +1
+              // for odd.
+              const index_t si = (i % 2 == 0) ? -1 : 1;
+              const index_t sj = (j % 2 == 0) ? -1 : 1;
+              const index_t sk = (k % 2 == 0) ? -1 : 1;
+              real_t v = 0;
+              for (int dz = 0; dz < 2; ++dz) {
+                for (int dy = 0; dy < 2; ++dy) {
+                  for (int dx = 0; dx < 2; ++dx) {
+                    const real_t w = (dx ? 0.25 : 0.75) * (dy ? 0.25 : 0.75) *
+                                     (dz ? 0.25 : 0.75);
+                    v += w * coarse(ci + dx * si, cj + dy * sj, ck + dz * sk);
+                  }
+                }
+              }
+              fine(i, j, k) = v;
             }
           }
         }
-        fine(i, j, k) = v;
-      }
-    }
-  }
+      });
 }
 
 real_t max_norm(const BrickedArray& a) {
@@ -629,14 +629,18 @@ real_t max_norm(const BrickedArray& a) {
     const real_t* __restrict p = a.data();
     // Interior bricks occupy storage ids [0, num_interior) — scan them
     // as one flat range.
-    const std::size_t n =
-        static_cast<std::size_t>(grid.num_interior()) * BD::volume;
-    real_t local = 0.0;
-#pragma omp parallel for schedule(static) reduction(max : local)
-    for (std::size_t i = 0; i < n; ++i) {
-      local = std::max(local, std::abs(p[i]));
-    }
-    m = local;
+    const std::int64_t n =
+        static_cast<std::int64_t>(grid.num_interior()) * BD::volume;
+    m = exec::parallel_reduce_max<real_t>(
+        "kernel.maxNorm", n, exec::kElementGrain,
+        [&](std::int64_t lo, std::int64_t hi) {
+          real_t local = 0.0;
+#pragma omp simd reduction(max : local)
+          for (std::int64_t i = lo; i < hi; ++i) {
+            local = std::max(local, std::abs(p[i]));
+          }
+          return local;
+        });
   });
   return m;
 }

@@ -1,5 +1,6 @@
 #include "gmg/operators_varcoef.hpp"
 
+#include "brick/brick_plan.hpp"
 #include "dsl/apply_brick.hpp"
 #include "dsl/stencils.hpp"
 #include "trace/trace.hpp"
@@ -16,41 +17,27 @@ inline void count_flops_vc(const Box& active, std::uint64_t flops_per_pt) {
 
 /// Row visitor shared by the pointwise variable-coefficient kernels
 /// (same shape as the one in operators.cpp, duplicated to keep both
-/// translation units self-contained).
+/// translation units self-contained). Runs over the grid's cached
+/// iteration plan on the kernel runtime; full bricks collapse to one
+/// flat whole-brick call.
 template <typename BD, typename Fn>
-void for_each_row_vc(BD, const BrickGrid& grid, const Box& active, Fn&& fn) {
-  const Box brick_region{
-      {floor_div(active.lo.x, BD::bx), floor_div(active.lo.y, BD::by),
-       floor_div(active.lo.z, BD::bz)},
-      {floor_div(active.hi.x - 1, BD::bx) + 1,
-       floor_div(active.hi.y - 1, BD::by) + 1,
-       floor_div(active.hi.z - 1, BD::bz) + 1}};
-  GMG_REQUIRE(grid.extended_box().covers(brick_region),
-              "active region extends beyond the ghost bricks");
-  const Vec3 bl = brick_region.lo, bh = brick_region.hi;
-#pragma omp parallel for collapse(2) schedule(static)
-  for (index_t bz = bl.z; bz < bh.z; ++bz) {
-    for (index_t by = bl.y; by < bh.y; ++by) {
-      for (index_t bx = bl.x; bx < bh.x; ++bx) {
-        const std::int32_t id = grid.storage_id({bx, by, bz});
-        GMG_ASSERT(id >= 0);
-        const index_t cx = bx * BD::bx, cy = by * BD::by, cz = bz * BD::bz;
-        const index_t ilo = std::max<index_t>(0, active.lo.x - cx);
-        const index_t ihi = std::min<index_t>(BD::bx, active.hi.x - cx);
-        const index_t jlo = std::max<index_t>(0, active.lo.y - cy);
-        const index_t jhi = std::min<index_t>(BD::by, active.hi.y - cy);
-        const index_t klo = std::max<index_t>(0, active.lo.z - cz);
-        const index_t khi = std::min<index_t>(BD::bz, active.hi.z - cz);
-        const std::size_t base = static_cast<std::size_t>(id) * BD::volume;
-        for (index_t lk = klo; lk < khi; ++lk) {
-          for (index_t lj = jlo; lj < jhi; ++lj) {
-            fn(base + static_cast<std::size_t>((lk * BD::by + lj) * BD::bx),
-               ilo, ihi);
-          }
+void for_each_row_vc(BD, const char* name, const BrickGrid& grid,
+                     const Box& active, Fn&& fn) {
+  const auto plan = grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
+  for_each_plan_brick<BD>(name, *plan, [&](const BrickPlanItem& it,
+                                           auto full) {
+    const std::size_t base = static_cast<std::size_t>(it.id) * BD::volume;
+    if constexpr (decltype(full)::value) {
+      fn(base, index_t{0}, static_cast<index_t>(BD::volume));
+    } else {
+      for (index_t lk = it.klo; lk < it.khi; ++lk) {
+        for (index_t lj = it.jlo; lj < it.jhi; ++lj) {
+          fn(base + static_cast<std::size_t>((lk * BD::by + lj) * BD::bx),
+             static_cast<index_t>(it.ilo), static_cast<index_t>(it.ihi));
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -106,7 +93,7 @@ void smooth_residual_varcoef(BrickedArray& x, BrickedArray& r,
     const real_t* __restrict axp = Ax.data();
     const real_t* __restrict bp = b.data();
     const real_t* __restrict dp = diag.data();
-    for_each_row_vc(bd, x.grid(), active,
+    for_each_row_vc(bd, "kernel.smoothResidualVarCoef", x.grid(), active,
                     [&](std::size_t o, index_t ilo, index_t ihi) {
 #pragma omp simd
                       for (index_t i = ilo; i < ihi; ++i) {
@@ -129,7 +116,7 @@ void smooth_varcoef(BrickedArray& x, const BrickedArray& Ax,
     const real_t* __restrict axp = Ax.data();
     const real_t* __restrict bp = b.data();
     const real_t* __restrict dp = diag.data();
-    for_each_row_vc(bd, x.grid(), active,
+    for_each_row_vc(bd, "kernel.smoothVarCoef", x.grid(), active,
                     [&](std::size_t o, index_t ilo, index_t ihi) {
 #pragma omp simd
                       for (index_t i = ilo; i < ihi; ++i) {
@@ -147,7 +134,7 @@ void cheby_p_update_varcoef(BrickedArray& p, const BrickedArray& r,
     real_t* __restrict pp = p.data();
     const real_t* __restrict rp = r.data();
     const real_t* __restrict dp = diag.data();
-    for_each_row_vc(bd, p.grid(), active,
+    for_each_row_vc(bd, "kernel.chebyPVarCoef", p.grid(), active,
                     [&](std::size_t o, index_t ilo, index_t ihi) {
 #pragma omp simd
                       for (index_t i = ilo; i < ihi; ++i) {

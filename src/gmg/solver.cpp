@@ -205,15 +205,19 @@ void GmgSolver::exchange_for_smooth(comm::Communicator& comm, MgLevel& lev) {
 }
 
 bool GmgSolver::use_overlap(const MgLevel& lev) const {
-  return opts_.overlap && lev.has_remote;
+  return opts_.overlap && lev.has_remote &&
+         static_cast<int>(lev.part.interior.size()) >=
+             opts_.overlap_min_interior_bricks;
 }
 
 exec::Engine& GmgSolver::engine() {
-  if (!engine_) {
-    engine_ = std::make_unique<exec::Engine>(1);
-    compute_stream_ = engine_->create_stream("gmg.compute");
+  exec::Engine& eng = exec::default_engine();
+  const std::uint64_t gen = exec::default_engine_generation();
+  if (gen != engine_generation_) {
+    compute_stream_ = eng.create_stream("gmg.compute");
+    engine_generation_ = gen;
   }
-  return *engine_;
+  return eng;
 }
 
 void GmgSolver::begin_exchange_for_smooth(comm::Communicator& comm,
@@ -266,27 +270,32 @@ void GmgSolver::finish_exchange_overlapped(
     // The worker records the phase span itself (it owns the timing);
     // the aggregate is updated from this thread after done.wait(),
     // because Profiler::stats_ is not thread-safe.
-    engine().submit(compute_stream_, "overlap.interior", [&, safe] {
+    exec::Engine& eng = engine();
+    eng.submit(compute_stream_, "overlap.interior", [&, safe] {
       trace::TraceSpan span(perf::phase_name(phase),
                             perf::phase_category(phase), lev.level);
       kernel(safe);
       interior_seconds = span.close();
     });
-    done = engine_->record(compute_stream_);
+    done = eng.record(compute_stream_);
   }
   profiler_.timed(lev.level, perf::Phase::kExchange,
                   [&] { lev.exchange->finish(comm); });
-  {
-    trace::TraceSpan wait_span("exec.wait_overlap", trace::Category::kWait);
-    done.wait();
-  }
-  if (!safe.empty()) profiler_.record(lev.level, phase, interior_seconds);
+  // Shell sweeps run on this thread while the interior task drains on
+  // the stream worker: the shell boxes and the safe box are disjoint
+  // cell regions writing disjoint storage (DESIGN.md §10), so the only
+  // ordering needed is done.wait() before anyone reads the result.
   const std::vector<Box> shell = shell_boxes(active, safe);
   if (!shell.empty()) {
     profiler_.timed(lev.level, phase, [&] {
       for (const Box& s : shell) kernel(s);
     });
   }
+  {
+    trace::TraceSpan wait_span("exec.wait_overlap", trace::Category::kWait);
+    done.wait();
+  }
+  if (!safe.empty()) profiler_.record(lev.level, phase, interior_seconds);
 }
 
 void GmgSolver::smooth_level(comm::Communicator& comm, MgLevel& lev,

@@ -10,6 +10,7 @@
 
 #include "comm/simmpi.hpp"
 #include "exec/engine.hpp"
+#include "exec/runtime.hpp"
 #include "gmg/level.hpp"
 #include "perf/profiler.hpp"
 
@@ -63,6 +64,11 @@ struct GmgOptions {
   /// as one full-region call). No effect on ranks with no remote
   /// neighbor.
   bool overlap = true;
+  /// Levels with fewer interior (non-surface) bricks than this fall
+  /// back to the blocking exchange even when `overlap` is on: on the
+  /// coarse grids there is next to no interior work to hide the
+  /// messages behind, so the split-phase machinery is pure overhead.
+  int overlap_min_interior_bricks = 4;
 
   /// The operator solved is A = identity_coef * I + laplacian_coef *
   /// Laplacian_h. The paper's model problem is (0, 1); an implicit
@@ -192,20 +198,24 @@ class GmgSolver {
   /// ghost brick — safe to compute while the exchange is in flight.
   Box overlap_safe_box(const MgLevel& lev, const Box& active) const;
   /// Complete a begun exchange while `kernel` runs over the safe
-  /// subregion of `active` on the engine worker; after finish(), run
-  /// `kernel` over the remaining surface shell. Both parts are
-  /// profiled under `phase`.
+  /// subregion of `active` on an engine stream; after finish(), run
+  /// `kernel` over the remaining surface shell on this thread while
+  /// the interior task drains. Both parts are profiled under `phase`.
   void finish_exchange_overlapped(
       comm::Communicator& comm, MgLevel& lev, const Box& active,
       perf::Phase phase, const std::function<void(const Box&)>& kernel);
-  /// Lazily constructed worker engine shared by all levels.
+  /// The process-wide runtime engine (exec::default_engine()), with
+  /// this solver's compute stream recreated whenever
+  /// configure_default_engine() has replaced the pool.
   exec::Engine& engine();
 
   GmgOptions opts_;
   int rank_;
   std::vector<MgLevel> levels_;
   perf::Profiler profiler_;
-  std::unique_ptr<exec::Engine> engine_;
+  /// Generation of exec::default_engine() that compute_stream_ was
+  /// created on; 0 = not yet created (generations start at 1).
+  std::uint64_t engine_generation_ = 0;
   exec::Stream compute_stream_;
 };
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <set>
 
 #include "brick/brick_grid.hpp"
@@ -73,6 +75,101 @@ TEST(BrickGrid, AdjacencyMatchesCoordinates) {
     }
     EXPECT_EQ(g.adjacent(id, kSelfDirection), id);
   }
+}
+
+TEST(BrickIterPlan, CacheReturnsSameSharedPlan) {
+  const BrickGrid g({4, 4, 4});
+  const Box active = Box::from_extent({16, 16, 16});
+  const auto p1 = g.iteration_plan(active, {4, 4, 4});
+  const auto p2 = g.iteration_plan(active, {4, 4, 4});
+  EXPECT_EQ(p1.get(), p2.get()) << "same key must hit the cache";
+  // A different active box (a CA deep-ghost sweep margin) is a
+  // distinct plan, and its own repeats hit the cache too.
+  const Box grown = grow(active, 2);
+  const auto p3 = g.iteration_plan(grown, {4, 4, 4});
+  EXPECT_NE(p1.get(), p3.get());
+  EXPECT_EQ(p3.get(), g.iteration_plan(grown, {4, 4, 4}).get());
+}
+
+TEST(BrickIterPlan, ClassifiesFullAndClippedAgainstBruteForce) {
+  const BrickGrid g({4, 4, 4});
+  const Vec3 bd{4, 4, 4};
+  // Interior sweep, a CA sweep two cells into the deep ghosts, and an
+  // off-brick-aligned box: every brick the plan lists must carry the
+  // brute-force clip bounds, full bricks first, each half in
+  // lexicographic brick order.
+  const std::vector<Box> cases{Box::from_extent({16, 16, 16}),
+                               grow(Box::from_extent({16, 16, 16}), 2),
+                               Box{{1, 2, 3}, {15, 14, 13}}};
+  for (const Box& active : cases) {
+    const auto plan = g.iteration_plan(active, bd);
+    EXPECT_EQ(plan->active, active);
+    std::size_t idx = 0;
+    std::int64_t seen_full = 0;
+    for (index_t bz = plan->brick_region.lo.z; bz < plan->brick_region.hi.z;
+         ++bz) {
+      for (index_t by = plan->brick_region.lo.y;
+           by < plan->brick_region.hi.y; ++by) {
+        for (index_t bx = plan->brick_region.lo.x;
+             bx < plan->brick_region.hi.x; ++bx) {
+          // Find this brick in the plan (full prefix or clipped tail).
+          const std::int32_t id = g.storage_id({bx, by, bz});
+          ASSERT_GE(id, 0);
+          const auto it_pos =
+              std::find_if(plan->items.begin(), plan->items.end(),
+                           [&](const BrickPlanItem& i) { return i.id == id; });
+          ASSERT_NE(it_pos, plan->items.end());
+          const BrickPlanItem& item = *it_pos;
+          EXPECT_EQ(item.coord, (Vec3{bx, by, bz}));
+          EXPECT_EQ(item.adj, g.adjacency(id).data());
+          const index_t ilo = std::max<index_t>(0, active.lo.x - bx * bd.x);
+          const index_t ihi =
+              std::min<index_t>(bd.x, active.hi.x - bx * bd.x);
+          const index_t jlo = std::max<index_t>(0, active.lo.y - by * bd.y);
+          const index_t jhi =
+              std::min<index_t>(bd.y, active.hi.y - by * bd.y);
+          const index_t klo = std::max<index_t>(0, active.lo.z - bz * bd.z);
+          const index_t khi =
+              std::min<index_t>(bd.z, active.hi.z - bz * bd.z);
+          EXPECT_EQ(item.ilo, ilo);
+          EXPECT_EQ(item.ihi, ihi);
+          EXPECT_EQ(item.jlo, jlo);
+          EXPECT_EQ(item.jhi, jhi);
+          EXPECT_EQ(item.klo, klo);
+          EXPECT_EQ(item.khi, khi);
+          const bool full = ilo == 0 && jlo == 0 && klo == 0 &&
+                            ihi == bd.x && jhi == bd.y && khi == bd.z;
+          const bool in_full_prefix =
+              (it_pos - plan->items.begin()) < plan->num_full;
+          EXPECT_EQ(full, in_full_prefix);
+          seen_full += full ? 1 : 0;
+          ++idx;
+        }
+      }
+    }
+    EXPECT_EQ(idx, plan->items.size()) << "plan lists exactly the cover";
+    EXPECT_EQ(seen_full, plan->num_full);
+    // Each half preserves lexicographic brick-coordinate order (z
+    // outermost) — the property that makes chunked sweeps
+    // deterministic. Storage ids are NOT monotonic here: ghost bricks
+    // live in per-direction groups after the interior block.
+    const auto lex_key = [](const BrickPlanItem& i) {
+      return std::array<index_t, 3>{i.coord.z, i.coord.y, i.coord.x};
+    };
+    for (std::size_t i = 1; i < plan->items.size(); ++i) {
+      if (static_cast<std::int64_t>(i) == plan->num_full) continue;
+      EXPECT_LT(lex_key(plan->items[i - 1]), lex_key(plan->items[i]));
+    }
+  }
+}
+
+TEST(BrickIterPlan, RejectsActiveBeyondGhostBricks) {
+  const BrickGrid g({2, 2, 2});
+  // Growing by 5 cells reaches two bricks (dim 4) past the interior —
+  // beyond the one-brick-deep ghost shell.
+  EXPECT_THROW(
+      g.iteration_plan(grow(Box::from_extent({8, 8, 8}), 5), {4, 4, 4}),
+      Error);
 }
 
 TEST(BrickGrid, SegmentsCoverRegionInOrder) {
