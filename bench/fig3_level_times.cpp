@@ -55,7 +55,7 @@ void modeled_fig3() {
   t.row().cell("total").cell("");
   for (const auto& cost : costs) t.cell(cost.total_s * kVcycles, 4);
   t.print();
-  t.write_csv("fig3_level_times.csv");
+  t.write_csv("bench/out/fig3_level_times.csv");
 
   // The paper's headline observation: between large levels the time
   // ratio tracks the ~4x surface ratio (communication-dominated), not

@@ -161,7 +161,7 @@ void modeled_fig4() {
         hpgmg_s / ours, 2);
   }
   t.print();
-  t.write_csv("fig4_hpgmg_compare.csv");
+  t.write_csv("bench/out/fig4_hpgmg_compare.csv");
   bench::note(
       "  paper reference: Perlmutter 1.58x, Frontier 1.46x, Sunspot ~1x.");
 }

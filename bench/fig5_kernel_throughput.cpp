@@ -44,7 +44,7 @@ void modeled_series(arch::Op op) {
     }
   }
   t.print();
-  t.write_csv(std::string("fig5_") + (op == arch::Op::kApplyOp
+  t.write_csv(std::string("bench/out/fig5_") + (op == arch::Op::kApplyOp
                                           ? "applyop"
                                           : "smooth_residual") +
               ".csv");
@@ -94,7 +94,7 @@ void measured_host_series() {
     ts_s.push_back(ts);
   }
   t.print();
-  t.write_csv("fig5_host_measured.csv");
+  t.write_csv("bench/out/fig5_host_measured.csv");
   const auto fa = net::fit_linear_model(xs_a, ts_a);
   const auto fs = net::fit_linear_model(xs_s, ts_s);
   std::cout << "  host applyOp fit:        alpha = " << fa.alpha_s * 1e6

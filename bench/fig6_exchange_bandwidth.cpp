@@ -47,7 +47,7 @@ void modeled_fig6() {
     }
   }
   t.print();
-  t.write_csv("fig6_exchange.csv");
+  t.write_csv("bench/out/fig6_exchange.csv");
 
   AsciiPlot plot({56, 14, /*log_x=*/true, /*log_y=*/true,
                   "total message bytes", "exchange GB/s (log-log)"});

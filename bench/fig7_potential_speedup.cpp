@@ -32,7 +32,7 @@ int main() {
     }
   }
   t.print();
-  t.write_csv("fig7_potential_speedup.csv");
+  t.write_csv("bench/out/fig7_potential_speedup.csv");
   std::cout << "  max headroom: A100 " << worst[0] << "x (paper <=1.2x+), "
             << "MI250X GCD " << worst[1] << "x (paper ~4x outlier), "
             << "PVC tile " << worst[2] << "x (paper 1.5-2x)\n";

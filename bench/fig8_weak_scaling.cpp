@@ -65,7 +65,7 @@ void modeled_weak_scaling() {
   }
   t.print();
   plot.print();
-  t.write_csv("fig8_weak_scaling.csv");
+  t.write_csv("bench/out/fig8_weak_scaling.csv");
   bench::note(
       "  paper reference: >=87% efficiency at 128 nodes (512 GPUs);\n"
       "  Frontier approaches ~2x Perlmutter's aggregate GStencil/s (twice\n"

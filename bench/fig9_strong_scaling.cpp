@@ -123,7 +123,7 @@ int main() {
   }
   t.print();
   plot.print();
-  t.write_csv("fig9_strong_scaling.csv");
+  t.write_csv("bench/out/fig9_strong_scaling.csv");
   bench::note(
       "  paper reference: Frontier ~2x Perlmutter's throughput (double the\n"
       "  problem and ranks per node); efficiency collapses at high node\n"

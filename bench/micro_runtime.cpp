@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
       row.cell(gsps[ci][static_cast<std::size_t>(opi)], 3);
   }
   t.print();
-  t.write_csv("micro_runtime.csv");
+  t.write_csv("bench/out/micro_runtime.csv");
   bench::note(
       "  pool-N spins the persistent engine with N workers; omp-forkjoin\n"
       "  is the pre-runtime `#pragma omp parallel for` dispatch. On a\n"

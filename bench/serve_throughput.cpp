@@ -1,0 +1,173 @@
+// Serve-layer benchmark: cold hierarchy setup vs cached-hierarchy
+// request latency, and sustained solve throughput at 1/4/8 concurrent
+// clients against one SolveService. The cold/cached gap is the payoff
+// of the hierarchy cache + brick arena (setup, allocation, and
+// first-touch costs paid once per problem shape, not per request).
+// Writes BENCH_serve_throughput.json; smoke-run by ci/tier1.sh.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "serve/service.hpp"
+
+using namespace gmg;
+using namespace gmg::serve;
+
+namespace {
+
+real_t sine_rhs(real_t x, real_t y, real_t z) {
+  return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+         std::sin(2 * M_PI * z);
+}
+
+GmgOptions bench_options() {
+  GmgOptions o;
+  o.levels = 3;
+  o.smooths = 6;
+  o.bottom_smooths = 30;
+  o.tolerance = 1e-8;
+  o.max_vcycles = 40;
+  o.brick = BrickShape::cube(4);
+  return o;
+}
+
+SolveRequest bench_request() {
+  SolveRequest req;
+  req.domain.global_extent = {32, 32, 32};
+  req.rhs = sine_rhs;
+  req.tolerance = 1e-8;
+  req.max_vcycles = 40;
+  req.return_solution = false;  // measure the solve, not the copy-out
+  return req;
+}
+
+struct ClientPoint {
+  int clients = 0;
+  int requests = 0;
+  double seconds = 0;
+  double req_per_s = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_out =
+      bench::parse_trace_out(argc, argv, "serve_throughput");
+
+  ServeConfig cfg;
+  cfg.executors = 2;
+  cfg.queue_capacity = 32;
+  SolveService service(cfg);
+  service.register_operator("poisson", bench_options());
+  const SolveRequest req = bench_request();
+
+  bench::section(
+      "Solve service — cold vs cached request latency, 32^3 Poisson, "
+      "bricks 4^3, 3 levels");
+
+  // Request #1 pays hierarchy construction; #2..#K reuse the cached
+  // hierarchy with arena-recycled field storage.
+  const RequestResult cold = service.submit(req).get();
+  if (cold.status != RequestStatus::kDone) {
+    std::cerr << "cold solve failed: " << status_name(cold.status) << " "
+              << cold.error << "\n";
+    return 1;
+  }
+  constexpr int kCachedRuns = 5;
+  std::vector<double> cached_totals;
+  for (int i = 0; i < kCachedRuns; ++i) {
+    const RequestResult r = service.submit(req).get();
+    if (r.status != RequestStatus::kDone || !r.cache_hit) {
+      std::cerr << "cached solve " << i << " unexpected: "
+                << status_name(r.status) << "\n";
+      return 1;
+    }
+    cached_totals.push_back(r.total_seconds);
+  }
+  std::sort(cached_totals.begin(), cached_totals.end());
+  const double cached_median = cached_totals[kCachedRuns / 2];
+
+  Table lat({"request", "total_s", "setup_s", "solve_s", "vcycles"});
+  lat.row()
+      .cell("cold")
+      .cell(cold.total_seconds, 4)
+      .cell(cold.setup_seconds, 4)
+      .cell(cold.solve_seconds, 4)
+      .cell(static_cast<long>(cold.solve.vcycles));
+  lat.row()
+      .cell("cached(med)")
+      .cell(cached_median, 4)
+      .cell(0.0, 4)
+      .cell(cached_median, 4)
+      .cell(static_cast<long>(cold.solve.vcycles));
+  lat.print();
+  bench::note("  speedup(cold/cached) = " +
+              std::to_string(cold.total_seconds / cached_median));
+
+  bench::section("Solve service — throughput vs concurrent clients");
+  std::vector<ClientPoint> points;
+  for (int clients : {1, 4, 8}) {
+    const int per_client = 3;
+    ClientPoint p;
+    p.clients = clients;
+    p.requests = clients * per_client;
+    Timer t;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+          for (int i = 0; i < per_client; ++i) service.submit(req).wait();
+        });
+      }
+      for (auto& th : threads) th.join();
+    }
+    p.seconds = t.elapsed();
+    p.req_per_s = static_cast<double>(p.requests) / p.seconds;
+    points.push_back(p);
+  }
+
+  Table tput({"clients", "requests", "wall_s", "req/s"});
+  for (const ClientPoint& p : points) {
+    tput.row()
+        .cell(static_cast<long>(p.clients))
+        .cell(static_cast<long>(p.requests))
+        .cell(p.seconds, 3)
+        .cell(p.req_per_s, 2);
+  }
+  tput.print();
+  tput.write_csv("bench/out/serve_throughput.csv");
+
+  const ServiceReport rep = service.report();
+  std::cout << rep.to_string();
+
+  std::ofstream os("BENCH_serve_throughput.json");
+  os << "{\n  \"bench\": \"serve_throughput\",\n"
+     << "  \"n\": 32,\n  \"brick_dim\": 4,\n  \"levels\": 3,\n"
+     << "  \"cold_seconds\": " << cold.total_seconds << ",\n"
+     << "  \"cold_setup_seconds\": " << cold.setup_seconds << ",\n"
+     << "  \"cached_median_seconds\": " << cached_median << ",\n"
+     << "  \"cold_over_cached\": " << cold.total_seconds / cached_median
+     << ",\n"
+     << "  \"cache_hit_ratio\": " << rep.cache.hit_ratio() << ",\n"
+     << "  \"arena_reuse_ratio\": " << rep.arena.reuse_ratio() << ",\n"
+     << "  \"latency_p50_seconds\": " << rep.latency_p50 << ",\n"
+     << "  \"latency_p99_seconds\": " << rep.latency_p99 << ",\n"
+     << "  \"clients\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ClientPoint& p = points[i];
+    os << "    {\"clients\": " << p.clients << ", \"requests\": "
+       << p.requests << ", \"seconds\": " << p.seconds
+       << ", \"req_per_s\": " << p.req_per_s << "}"
+       << (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  std::cout << "  wrote BENCH_serve_throughput.json\n";
+  bench::finish_trace(trace_out);
+  return 0;
+}

@@ -43,7 +43,7 @@ void modeled_table2() {
       [](const perf::LevelCost& c) { return c.interp_s; });
   row("exchange", [](const perf::LevelCost& c) { return c.exchange_s; });
   t.print();
-  t.write_csv("table2_op_breakdown.csv");
+  t.write_csv("bench/out/table2_op_breakdown.csv");
   bench::note(
       "  paper reference (A100): 25.0 / 54.5 / 1.0 / 1.9 / 17.5 %.");
 }

@@ -32,7 +32,7 @@ int main() {
     t.cell_percent(host.frac_roofline[op], 0);
   }
   t.print();
-  t.write_csv("table3_phi_roofline.csv");
+  t.write_csv("bench/out/table3_phi_roofline.csv");
 
   const double overall = arch::harmonic_mean(per_op_phi);
   std::cout << "  overall Phi across platforms and operations: "

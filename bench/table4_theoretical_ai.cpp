@@ -27,7 +27,7 @@ int main() {
         .cell(sim.ai(), 3);
   }
   t.print();
-  t.write_csv("table4_theoretical_ai.csv");
+  t.write_csv("bench/out/table4_theoretical_ai.csv");
   bench::note(
       "  paper reference: 0.50 / 0.125 / 0.15 / 0.11 / 0.06.\n"
       "  simulated smooth AI is lower because the simulator charges the\n"

@@ -33,7 +33,7 @@ int main() {
     t.cell_percent(std::min(1.0, host.frac_theoretical_ai[op]), 0);
   }
   t.print();
-  t.write_csv("table5_phi_theoretical_ai.csv");
+  t.write_csv("bench/out/table5_phi_theoretical_ai.csv");
 
   std::cout << "  overall Phi across platforms and operations: "
             << arch::harmonic_mean(per_op_phi) * 100 << "% (paper: 92%)\n";

@@ -10,9 +10,10 @@
 #      per-thread ring buffers would hide.
 #   3. A TSan tree (./build-tsan, OpenMP off — see GMG_SANITIZE_THREAD)
 #      running the exec engine, kernel-runtime parallel_for, simmpi,
-#      and split-phase exchange tests: the worker-pool handoffs of
-#      DESIGN.md §10–11 are exactly what a race detector must see
-#      scheduled live.
+#      split-phase exchange, and solve-service tests: the worker-pool
+#      handoffs of DESIGN.md §10–11 and the serve layer's executor
+#      pool / hierarchy cache / brick arena (§12) are exactly what a
+#      race detector must see scheduled live.
 #
 # Usage: ci/tier1.sh [--skip-asan] [--skip-tsan]
 set -euo pipefail
@@ -32,6 +33,11 @@ echo "== tier 1: solver suite, GMG_EXEC_WORKERS=1 =="
 GMG_EXEC_WORKERS=1 ./build/tests/test_solver
 echo "== tier 1: solver suite, default workers =="
 ./build/tests/test_solver
+
+# Serve-layer smoke: cold vs cached request latency and client-fanout
+# throughput (writes BENCH_serve_throughput.json + bench/out CSV).
+echo "== tier 1: serve throughput smoke =="
+./build/bench/serve_throughput
 
 SKIP_ASAN=0
 SKIP_TSAN=0
@@ -70,8 +76,8 @@ else
     -DGMG_ENABLE_EXAMPLES=OFF \
     -DGMG_NATIVE_ARCH=OFF >/dev/null
   cmake --build build-tsan -j"${JOBS}" \
-    --target test_exec test_parallel_for test_simmpi test_exchange
-  for t in test_exec test_parallel_for test_simmpi test_exchange; do
+    --target test_exec test_parallel_for test_simmpi test_exchange test_serve
+  for t in test_exec test_parallel_for test_simmpi test_exchange test_serve; do
     echo "-- ${t} (tsan)"
     "./build-tsan/tests/${t}"
   done

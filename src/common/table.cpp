@@ -1,5 +1,6 @@
 #include "common/table.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -81,6 +82,11 @@ std::string Table::csv() const {
 }
 
 void Table::write_csv(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
   std::ofstream f(path);
   GMG_REQUIRE(f.good(), "cannot open '" + path + "' for writing");
   f << csv();

@@ -46,9 +46,6 @@ GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
               "shape");
   opts_.levels = levels;
 
-  const bool needs_p = opts_.smoother == Smoother::kChebyshev ||
-                       opts_.bottom == BottomSolverType::kConjugateGradient;
-
   const Box rank_box0 = decomp.subdomain_box(rank);
   // Which ghost groups come from other ranks — a property of the rank
   // grid alone, so identical on every level.
@@ -106,7 +103,7 @@ GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
     lev.b = BrickedArray(lev.grid, shape);
     lev.Ax = BrickedArray(lev.grid, shape);
     lev.r = BrickedArray(lev.grid, shape);
-    if (needs_p) lev.p = BrickedArray(lev.grid, shape);
+    if (needs_p()) lev.p = BrickedArray(lev.grid, shape);
     lev.exchange = std::make_unique<comm::BrickExchange>(
         lev.grid, shape, decomp, rank, opts_.exchange_mode);
     levels_.push_back(std::move(lev));
@@ -115,6 +112,8 @@ GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
 
 void GmgSolver::set_rhs(
     const std::function<real_t(real_t, real_t, real_t)>& f) {
+  GMG_REQUIRE(!storage_detached_,
+              "attach_field_storage() before set_rhs on a parked hierarchy");
   MgLevel& fine = levels_.front();
   const real_t h = fine.h;
   for_each(fine.interior(), [&](index_t i, index_t j, index_t k) {
@@ -132,6 +131,45 @@ void GmgSolver::set_rhs(
     levels_[l].margin = 0;
     levels_[l].b_ghosts_valid = false;
   }
+  // Back-to-back-solve state audit: p is the one field the first sweep
+  // reads before writing (cheby_p_update computes p = r/D + beta*p even
+  // when beta == 0), so a value left by the previous solve — or an Inf
+  // that 0*p turns into NaN — would leak in. Zero it so a reused
+  // hierarchy starts from exactly the constructor's state; Ax and r
+  // are always fully written before their first read.
+  for (MgLevel& lev : levels_) {
+    if (lev.p.size() != 0) init_zero(lev.p);
+  }
+}
+
+void GmgSolver::detach_field_storage(BrickArena& arena) {
+  if (storage_detached_) return;
+  for (MgLevel& lev : levels_) {
+    arena.release(std::move(lev.x));
+    arena.release(std::move(lev.b));
+    arena.release(std::move(lev.Ax));
+    arena.release(std::move(lev.r));
+    if (lev.p.size() != 0) arena.release(std::move(lev.p));
+    // coef/diag describe the operator, not one solve — they stay, like
+    // the grids, exchange engines and iteration plans.
+  }
+  storage_detached_ = true;
+}
+
+void GmgSolver::attach_field_storage(BrickArena& arena) {
+  if (!storage_detached_) return;
+  for (MgLevel& lev : levels_) {
+    lev.x = arena.acquire(lev.grid, lev.shape);
+    lev.b = arena.acquire(lev.grid, lev.shape);
+    lev.Ax = arena.acquire(lev.grid, lev.shape);
+    lev.r = arena.acquire(lev.grid, lev.shape);
+    if (needs_p()) lev.p = arena.acquire(lev.grid, lev.shape);
+    // Everything is zero again; mirror the constructor's conservative
+    // margin so the CA exchange schedule matches a fresh solver's.
+    lev.margin = 0;
+    lev.b_ghosts_valid = false;
+  }
+  storage_detached_ = false;
 }
 
 void GmgSolver::set_coefficient(
@@ -685,19 +723,36 @@ real_t GmgSolver::residual_norm_l2(comm::Communicator& comm) {
   return std::sqrt(global_sq);
 }
 
-SolveResult GmgSolver::solve(comm::Communicator& comm) {
+SolveResult GmgSolver::solve(comm::Communicator& comm,
+                             const SolveControl* control) {
+  GMG_REQUIRE(!storage_detached_,
+              "attach_field_storage() before solving a parked hierarchy");
   Timer timer;
   SolveResult result;
   real_t res = residual_norm(comm);
   result.history.push_back(res);
   while (res > opts_.tolerance && result.vcycles < opts_.max_vcycles) {
+    if (control != nullptr) {
+      // The abort decision must be unanimous: a rank that left the
+      // loop while a peer entered vcycle() would deadlock the peer's
+      // collectives. Reduce the local view once per cycle — all ranks
+      // see the same max and exit together.
+      const bool local =
+          control->cancel.load(std::memory_order_relaxed) ||
+          (control->deadline_ns != 0 &&
+           trace::now_ns() >= control->deadline_ns);
+      if (comm.allreduce_max(local ? 1.0 : 0.0) > 0.0) {
+        result.cancelled = true;
+        break;
+      }
+    }
     vcycle(comm);
     res = residual_norm(comm);
     result.history.push_back(res);
     ++result.vcycles;
   }
   result.final_residual = res;
-  result.converged = res <= opts_.tolerance;
+  result.converged = !result.cancelled && res <= opts_.tolerance;
   result.seconds = timer.elapsed();
   return result;
 }

@@ -5,9 +5,11 @@
 // full multigrid (FMG), and a 4th-order (radius-2) operator.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
+#include "brick/brick_arena.hpp"
 #include "comm/simmpi.hpp"
 #include "exec/engine.hpp"
 #include "exec/runtime.hpp"
@@ -101,9 +103,24 @@ struct SolveResult {
   int vcycles = 0;
   real_t final_residual = 0;
   bool converged = false;
+  /// The solve stopped early because its SolveControl was cancelled or
+  /// its deadline passed (see GmgSolver::solve).
+  bool cancelled = false;
   double seconds = 0;
   /// Residual max-norm before the first cycle and after each cycle.
   std::vector<real_t> history;
+};
+
+/// External control of an in-flight solve (the serve layer's
+/// cancellation/deadline hook). One instance may be shared by every
+/// rank of a solve: the abort decision is made *collectively* — each
+/// rank contributes its local view through an allreduce once per cycle
+/// — so all ranks leave the cycle loop together and no rank blocks in
+/// a collective its peers never enter.
+struct SolveControl {
+  std::atomic<bool> cancel{false};
+  /// Absolute deadline on the trace::now_ns() clock; 0 = none.
+  std::uint64_t deadline_ns = 0;
 };
 
 class GmgSolver {
@@ -122,6 +139,14 @@ class GmgSolver {
   const GmgOptions& options() const { return opts_; }
   int rank() const { return rank_; }
 
+  /// Per-request solve parameters that do not affect hierarchy setup
+  /// (the serve layer reuses one cached hierarchy across requests with
+  /// different accuracy targets).
+  void set_solve_params(real_t tolerance, int max_vcycles) {
+    opts_.tolerance = tolerance;
+    opts_.max_vcycles = max_vcycles;
+  }
+
   /// Initialize b on the finest level from a function of physical
   /// cell-center coordinates in [0,1)^3, and reset x to zero.
   void set_rhs(const std::function<real_t(real_t, real_t, real_t)>& f);
@@ -136,8 +161,29 @@ class GmgSolver {
                        const std::function<real_t(real_t, real_t, real_t)>& f);
 
   /// Algorithm 1: cycle until the global residual max-norm drops
-  /// below tolerance.
-  SolveResult solve(comm::Communicator& comm);
+  /// below tolerance. With `control`, the loop additionally stops —
+  /// collectively, at a cycle boundary — once the cancel flag is set
+  /// or the deadline has passed on any rank (result.cancelled). The
+  /// solver is re-entrant across calls: set_rhs() + solve() on a
+  /// once-built hierarchy is bitwise identical to a fresh solver.
+  SolveResult solve(comm::Communicator& comm,
+                    const SolveControl* control = nullptr);
+
+  /// Hand every per-solve field (x, b, Ax, r, and the Chebyshev/CG
+  /// direction p) of every level to `arena`, leaving the hierarchy a
+  /// storage-less skeleton: geometry, stencil coefficients, exchange
+  /// engines, cached iteration plans, and the variable-coefficient
+  /// operator (coef/diag) stay resident. The serve layer parks cached
+  /// hierarchies this way so idle entries hold no field memory.
+  void detach_field_storage(BrickArena& arena);
+
+  /// Re-acquire the detached fields from `arena` (zeroed, so a
+  /// following set_rhs()/solve() behaves exactly like a fresh solver).
+  /// No-op when storage is already attached.
+  void attach_field_storage(BrickArena& arena);
+
+  /// Whether the per-solve fields are currently detached.
+  bool storage_detached() const { return storage_detached_; }
 
   /// One multigrid cycle rooted at the finest level (V or W according
   /// to options().cycle).
@@ -209,8 +255,15 @@ class GmgSolver {
   /// configure_default_engine() has replaced the pool.
   exec::Engine& engine();
 
+  /// Whether the configured smoother/bottom solver needs the p field.
+  bool needs_p() const {
+    return opts_.smoother == Smoother::kChebyshev ||
+           opts_.bottom == BottomSolverType::kConjugateGradient;
+  }
+
   GmgOptions opts_;
   int rank_;
+  bool storage_detached_ = false;
   std::vector<MgLevel> levels_;
   perf::Profiler profiler_;
   /// Generation of exec::default_engine() that compute_stream_ was

@@ -1,0 +1,399 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "trace/trace.hpp"
+
+namespace gmg::serve {
+
+namespace detail {
+
+/// Shared state behind a SolveFuture: the request as admitted, its
+/// schedule metadata, the cancellation control shared with the
+/// in-flight solve, and the completed result.
+struct RequestState {
+  SolveRequest req;
+  std::uint64_t seq = 0;
+  std::uint64_t submit_ns = 0;
+  std::uint64_t deadline_ns = 0;  // 0 = none
+  SolveControl control;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  bool done = false;
+  RequestResult result;
+};
+
+namespace {
+
+/// Max-heap order: highest priority first, FIFO (lowest sequence)
+/// within a priority class.
+bool heap_less(const std::shared_ptr<RequestState>& a,
+               const std::shared_ptr<RequestState>& b) {
+  if (a->req.priority != b->req.priority)
+    return a->req.priority < b->req.priority;
+  return a->seq > b->seq;
+}
+
+}  // namespace
+}  // namespace detail
+
+const char* status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kQueued:
+      return "queued";
+    case RequestStatus::kRunning:
+      return "running";
+    case RequestStatus::kDone:
+      return "done";
+    case RequestStatus::kCancelled:
+      return "cancelled";
+    case RequestStatus::kExpired:
+      return "expired";
+    case RequestStatus::kRejected:
+      return "rejected";
+    case RequestStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool SolveFuture::ready() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+void SolveFuture::wait() const {
+  GMG_REQUIRE(state_ != nullptr, "wait() on an invalid SolveFuture");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+RequestResult SolveFuture::get() const {
+  wait();
+  return state_->result;
+}
+
+bool SolveFuture::cancel() {
+  GMG_REQUIRE(state_ != nullptr, "cancel() on an invalid SolveFuture");
+  state_->control.cancel.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return !state_->done;
+}
+
+SolveService::SolveService(ServeConfig config)
+    : config_(config),
+      cache_(std::max<std::size_t>(config.cache_capacity, 0), &arena_) {
+  if (config_.trace_flush_seconds > 0) {
+    trace::start_periodic_flush(config_.trace_flush_seconds);
+    flush_started_ = true;
+  } else {
+    flush_started_ = trace::start_periodic_flush_from_env();
+  }
+  const int n = std::max(1, config_.executors);
+  executors_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+SolveService::~SolveService() { shutdown(); }
+
+void SolveService::register_operator(const std::string& id,
+                                     const GmgOptions& options) {
+  register_operator(id, OperatorSpec{options, nullptr});
+}
+
+void SolveService::register_operator(const std::string& id,
+                                     const OperatorSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  operators_[id] = spec;
+}
+
+namespace {
+
+std::string hierarchy_cache_key(const SolveRequest& req,
+                                const OperatorSpec& spec) {
+  std::ostringstream os;
+  const Vec3 g = req.domain.global_extent;
+  const Vec3 r = req.domain.rank_grid;
+  const BrickShape b = spec.options.brick;
+  os << g.x << 'x' << g.y << 'x' << g.z << '/' << r.x << 'x' << r.y << 'x'
+     << r.z << "/b" << b.bx << 'x' << b.by << 'x' << b.bz << "/l"
+     << spec.options.levels << '/' << req.operator_id;
+  return os.str();
+}
+
+}  // namespace
+
+SolveFuture SolveService::submit(SolveRequest req) {
+  return enqueue(std::move(req), /*block=*/true);
+}
+
+SolveFuture SolveService::try_submit(SolveRequest req) {
+  return enqueue(std::move(req), /*block=*/false);
+}
+
+SolveFuture SolveService::enqueue(SolveRequest req, bool block) {
+  auto rs = std::make_shared<detail::RequestState>();
+  rs->req = std::move(req);
+  rs->submit_ns = trace::now_ns();
+  if (rs->req.deadline_seconds > 0) {
+    rs->deadline_ns = rs->submit_ns + static_cast<std::uint64_t>(
+                                          rs->req.deadline_seconds * 1e9);
+    rs->control.deadline_ns = rs->deadline_ns;
+  }
+  trace::counter_add("serve.submitted", 1);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++submitted_;
+    if (block) {
+      space_cv_.wait(lock, [&] {
+        return stopping_ || queue_.size() < config_.queue_capacity;
+      });
+    }
+    if (stopping_ || queue_.size() >= config_.queue_capacity) {
+      ++rejected_;
+      lock.unlock();
+      trace::counter_add("serve.rejected", 1);
+      complete(rs, RequestStatus::kRejected);
+      return SolveFuture(std::move(rs));
+    }
+    rs->seq = next_seq_++;
+    queue_.push_back(rs);
+    std::push_heap(queue_.begin(), queue_.end(), detail::heap_less);
+    queue_high_water_ = std::max(queue_high_water_, queue_.size());
+  }
+  queue_cv_.notify_one();
+  return SolveFuture(std::move(rs));
+}
+
+void SolveService::executor_loop() {
+  for (;;) {
+    std::shared_ptr<detail::RequestState> rs;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      std::pop_heap(queue_.begin(), queue_.end(), detail::heap_less);
+      rs = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    space_cv_.notify_one();
+    execute(rs);
+  }
+}
+
+void SolveService::execute(const std::shared_ptr<detail::RequestState>& rs) {
+  trace::TraceSpan request_span("serve.request", trace::Category::kOther);
+  const std::uint64_t start_ns = trace::now_ns();
+  rs->result.queue_seconds =
+      static_cast<double>(start_ns - rs->submit_ns) * 1e-9;
+
+  if (rs->control.cancel.load(std::memory_order_relaxed)) {
+    complete(rs, RequestStatus::kCancelled);
+    return;
+  }
+  if (rs->deadline_ns != 0 && start_ns >= rs->deadline_ns) {
+    complete(rs, RequestStatus::kExpired);
+    return;
+  }
+
+  OperatorSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = operators_.find(rs->req.operator_id);
+    if (it != operators_.end()) {
+      spec = it->second;
+    } else {
+      rs->result.error = "unknown operator id: " + rs->req.operator_id;
+    }
+  }
+  if (!rs->result.error.empty()) {
+    complete(rs, RequestStatus::kFailed);
+    return;
+  }
+
+  const std::string key = hierarchy_cache_key(rs->req, spec);
+  const int nranks = rs->req.domain.ranks();
+
+  std::unique_ptr<CachedHierarchy> entry;
+  try {
+    entry = cache_.acquire(key);
+    rs->result.cache_hit = entry != nullptr;
+    if (!entry) {
+      trace::TraceSpan setup_span("serve.setup");
+      const CartDecomp decomp(rs->req.domain.global_extent,
+                              rs->req.domain.rank_grid);
+      entry = std::make_unique<CachedHierarchy>(key, decomp, spec.options);
+      entry->solvers.reserve(static_cast<std::size_t>(nranks));
+      for (int r = 0; r < nranks; ++r) {
+        entry->solvers.push_back(
+            std::make_unique<GmgSolver>(spec.options, decomp, r));
+      }
+      rs->result.setup_seconds = setup_span.elapsed();
+    } else {
+      trace::counter_add("serve.cache_hits", 1);
+    }
+
+    const bool needs_coefficient =
+        spec.coefficient != nullptr && !entry->coefficient_set;
+    std::vector<SolveResult> per_rank(static_cast<std::size_t>(nranks));
+    {
+      trace::TraceSpan solve_span("serve.solve");
+      comm::World world(nranks);
+      world.run([&](comm::Communicator& c) {
+        GmgSolver& s = *entry->solvers[static_cast<std::size_t>(c.rank())];
+        s.set_solve_params(rs->req.tolerance, rs->req.max_vcycles);
+        if (needs_coefficient) s.set_coefficient(c, spec.coefficient);
+        s.set_rhs(rs->req.rhs);
+        per_rank[static_cast<std::size_t>(c.rank())] =
+            s.solve(c, &rs->control);
+      });
+      rs->result.solve_seconds = solve_span.elapsed();
+    }
+    if (needs_coefficient) entry->coefficient_set = true;
+
+    rs->result.solve = per_rank.front();
+    if (rs->req.return_solution && !rs->result.solve.cancelled) {
+      const Vec3 g = rs->req.domain.global_extent;
+      rs->result.solution.reserve(
+          static_cast<std::size_t>(g.x) * static_cast<std::size_t>(g.y) *
+          static_cast<std::size_t>(g.z));
+      for (int r = 0; r < nranks; ++r) {
+        const BrickedArray& x = entry->solvers[static_cast<std::size_t>(r)]
+                                    ->solution();
+        for_each(Box::from_extent(x.extent()),
+                 [&](index_t i, index_t j, index_t k) {
+                   rs->result.solution.push_back(x(i, j, k));
+                 });
+      }
+    }
+    cache_.release(std::move(entry));
+  } catch (const std::exception& e) {
+    rs->result.error = e.what();
+    // The hierarchy may be mid-mutation — drop it rather than cache a
+    // possibly inconsistent entry (its detached pages, if any, are
+    // already pooled).
+    entry.reset();
+    complete(rs, RequestStatus::kFailed);
+    return;
+  }
+
+  if (rs->result.solve.cancelled) {
+    complete(rs, rs->control.cancel.load(std::memory_order_relaxed)
+                     ? RequestStatus::kCancelled
+                     : RequestStatus::kExpired);
+  } else {
+    complete(rs, RequestStatus::kDone);
+  }
+}
+
+void SolveService::complete(const std::shared_ptr<detail::RequestState>& rs,
+                            RequestStatus status) {
+  rs->result.total_seconds =
+      static_cast<double>(trace::now_ns() - rs->submit_ns) * 1e-9;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (status) {
+      case RequestStatus::kDone:
+        ++completed_;
+        latency_samples_.push_back(rs->result.total_seconds);
+        break;
+      case RequestStatus::kCancelled:
+        ++cancelled_;
+        break;
+      case RequestStatus::kExpired:
+        ++expired_;
+        break;
+      case RequestStatus::kFailed:
+        ++failed_;
+        break;
+      case RequestStatus::kRejected:
+        // counted at enqueue, under mu_
+        break;
+      default:
+        break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(rs->mu);
+    rs->result.status = status;
+    rs->done = true;
+  }
+  rs->cv.notify_all();
+}
+
+void SolveService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && executors_.empty()) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& t : executors_) t.join();
+  executors_.clear();
+  if (flush_started_) {
+    trace::stop_periodic_flush();
+    flush_started_ = false;
+  }
+}
+
+namespace {
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1,
+                       std::ceil(p * static_cast<double>(sorted.size())) - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+ServiceReport SolveService::report() const {
+  ServiceReport rep;
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rep.submitted = submitted_;
+    rep.completed = completed_;
+    rep.cancelled = cancelled_;
+    rep.expired = expired_;
+    rep.rejected = rejected_;
+    rep.failed = failed_;
+    rep.queue_depth = queue_.size();
+    rep.queue_high_water = queue_high_water_;
+    samples = latency_samples_;
+  }
+  rep.cache = cache_.stats();
+  rep.arena = arena_.stats();
+  std::sort(samples.begin(), samples.end());
+  rep.latency_p50 = percentile(samples, 0.50);
+  rep.latency_p99 = percentile(samples, 0.99);
+  rep.latency_max = samples.empty() ? 0 : samples.back();
+  return rep;
+}
+
+std::string ServiceReport::to_string() const {
+  std::ostringstream os;
+  os << "serve: submitted=" << submitted << " done=" << completed
+     << " cancelled=" << cancelled << " expired=" << expired
+     << " rejected=" << rejected << " failed=" << failed
+     << " queue=" << queue_depth << " (hwm " << queue_high_water << ")\n"
+     << "cache: hits=" << cache.hits << " misses=" << cache.misses
+     << " evictions=" << cache.evictions << " idle=" << cache.idle_entries
+     << " hit_ratio=" << cache.hit_ratio() << "\n"
+     << "arena: acquires=" << arena.acquires << " hits=" << arena.hits
+     << " reuse=" << arena.reuse_ratio()
+     << " pooled_bytes=" << arena.pooled_bytes << "\n"
+     << "latency: p50=" << latency_p50 << "s p99=" << latency_p99
+     << "s max=" << latency_max << "s\n";
+  return os.str();
+}
+
+}  // namespace gmg::serve

@@ -1,0 +1,218 @@
+// SolveService: the multi-tenant solve front-end (DESIGN.md §12).
+//
+// The solver below this layer is a one-shot harness: build a
+// hierarchy, solve, exit. A serving deployment instead sees a stream
+// of solve requests over a handful of recurring problem shapes. This
+// subsystem turns the reproduction into that system:
+//
+//   submit(request) --> bounded admission queue (priority + FIFO,
+//   blocking backpressure) --> executor pool --> hierarchy cache
+//   (reuse full GmgLevel chains, skip setup) --> brick arena (recycle
+//   field storage, skip malloc/first-touch) --> simmpi World solve on
+//   the shared exec engine (one compute stream per cached solver) -->
+//   completion future.
+//
+// Determinism contract: a request's result is bitwise identical to
+// running the same request alone on a fresh solver — cached
+// hierarchies are re-zeroed through the same chunk plans, and the
+// kernel runtime's fixed chunk boundaries/reduction trees make results
+// independent of what else the service is executing concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "brick/brick_arena.hpp"
+#include "gmg/solver.hpp"
+#include "serve/hierarchy_cache.hpp"
+
+namespace gmg::serve {
+
+/// The domain a request solves on: the global box and how it is
+/// decomposed over simulated ranks.
+struct DomainSpec {
+  Vec3 global_extent{64, 64, 64};
+  Vec3 rank_grid{1, 1, 1};
+
+  int ranks() const { return static_cast<int>(rank_grid.volume()); }
+};
+
+/// A named operator configuration (the request's `operator_id` refers
+/// to one of these). `options` fixes everything about the cycle; the
+/// optional `coefficient` switches the hierarchy to the
+/// variable-coefficient operator, evaluated once per cached hierarchy.
+struct OperatorSpec {
+  GmgOptions options;
+  std::function<real_t(real_t, real_t, real_t)> coefficient;
+};
+
+struct SolveRequest {
+  DomainSpec domain;
+  std::string operator_id = "poisson";
+  /// RHS as a function of physical cell-center coordinates.
+  std::function<real_t(real_t, real_t, real_t)> rhs;
+  real_t tolerance = 1e-10;
+  int max_vcycles = 100;
+  /// Higher runs earlier; FIFO within a priority class.
+  int priority = 0;
+  /// Wall-clock budget from submission; expired requests abort at the
+  /// next cycle boundary (0 = none).
+  double deadline_seconds = 0;
+  /// Copy the finest-level solution into the result (rank-major, each
+  /// rank's interior in for_each order).
+  bool return_solution = true;
+};
+
+enum class RequestStatus {
+  kQueued,
+  kRunning,
+  kDone,       // solve ran to convergence (or its cycle budget)
+  kCancelled,  // cancel() before or during the solve
+  kExpired,    // deadline passed before or during the solve
+  kRejected,   // admission queue full (try_submit) or service stopped
+  kFailed,     // solver threw (bad domain/operator); see error
+};
+const char* status_name(RequestStatus s);
+
+struct RequestResult {
+  RequestStatus status = RequestStatus::kQueued;
+  SolveResult solve;
+  bool cache_hit = false;
+  double queue_seconds = 0;
+  double setup_seconds = 0;  // hierarchy build; 0 on cache hits
+  double solve_seconds = 0;
+  double total_seconds = 0;  // submission to completion
+  std::vector<real_t> solution;
+  std::string error;
+};
+
+namespace detail {
+struct RequestState;
+}
+
+/// Completion handle. Copyable; all copies share one state.
+class SolveFuture {
+ public:
+  SolveFuture() = default;
+  bool valid() const { return state_ != nullptr; }
+  bool ready() const;
+  void wait() const;
+  /// Block until completion, then return a copy of the result (valid
+  /// futures only). By value so the result outlives the future —
+  /// `service.submit(req).get()` destroys the temporary future (and
+  /// possibly the shared state) at the end of the statement.
+  RequestResult get() const;
+  /// Ask the service to abandon the request: immediately when still
+  /// queued, at the next V-cycle boundary when running. Returns false
+  /// when the request had already completed.
+  bool cancel();
+
+ private:
+  friend class SolveService;
+  explicit SolveFuture(std::shared_ptr<detail::RequestState> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::RequestState> state_;
+};
+
+struct ServeConfig {
+  /// Executor threads draining the admission queue (concurrent
+  /// requests in flight).
+  int executors = 2;
+  /// Admission-queue bound: submit() blocks (backpressure) and
+  /// try_submit() rejects once this many requests are queued.
+  std::size_t queue_capacity = 16;
+  /// Idle hierarchies kept by the cache.
+  std::size_t cache_capacity = 4;
+  /// Start trace::start_periodic_flush at this interval; 0 consults
+  /// GMG_TRACE_FLUSH_MS (and leaves flushing off when unset).
+  double trace_flush_seconds = 0;
+};
+
+/// Point-in-time service metrics (report()).
+struct ServiceReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  // kDone
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_high_water = 0;
+  HierarchyCache::Stats cache;
+  BrickArena::Stats arena;
+  /// Total request latency (submission to completion) over finished
+  /// requests, seconds. Nearest-rank percentiles.
+  double latency_p50 = 0;
+  double latency_p99 = 0;
+  double latency_max = 0;
+
+  std::string to_string() const;
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServeConfig config = {});
+  ~SolveService();  // shutdown()
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Register (or replace) the operator configuration `id` refers to.
+  /// Not synchronized against in-flight requests using `id` — register
+  /// before submitting.
+  void register_operator(const std::string& id, const GmgOptions& options);
+  void register_operator(const std::string& id, const OperatorSpec& spec);
+
+  /// Admit a request, blocking while the queue is full (backpressure).
+  /// Returns an already-rejected future after shutdown().
+  SolveFuture submit(SolveRequest req);
+
+  /// Admit without blocking: a queue-full service rejects immediately
+  /// (future completes with kRejected).
+  SolveFuture try_submit(SolveRequest req);
+
+  /// Stop admitting, finish everything queued, join the executors.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServiceReport report() const;
+
+  BrickArena& arena() { return arena_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  SolveFuture enqueue(SolveRequest req, bool block);
+  void executor_loop();
+  void execute(const std::shared_ptr<detail::RequestState>& rs);
+  void complete(const std::shared_ptr<detail::RequestState>& rs,
+                RequestStatus status);
+
+  ServeConfig config_;
+  BrickArena arena_;
+  HierarchyCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // executors: work or stop
+  std::condition_variable space_cv_;  // submitters: queue has room
+  std::vector<std::shared_ptr<detail::RequestState>> queue_;  // max-heap
+  std::map<std::string, OperatorSpec> operators_;
+  bool stopping_ = false;
+  std::uint64_t next_seq_ = 0;
+  bool flush_started_ = false;
+
+  // Metrics (guarded by mu_).
+  std::uint64_t submitted_ = 0, completed_ = 0, cancelled_ = 0, expired_ = 0,
+                rejected_ = 0, failed_ = 0;
+  std::size_t queue_high_water_ = 0;
+  std::vector<double> latency_samples_;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace gmg::serve

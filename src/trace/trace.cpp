@@ -3,15 +3,26 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 namespace gmg::trace {
 namespace {
 
-/// Events per thread buffer. 64Ki x 40B = 2.5 MiB per recording
-/// thread; overflow drops events and counts them, never blocks.
-constexpr std::size_t kRingCapacity = std::size_t{1} << 16;
+/// Parse a positive integer environment variable, clamped; `fallback`
+/// when unset or unparsable.
+std::size_t env_size(const char* name, std::size_t fallback, std::size_t lo,
+                     std::size_t hi) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || v <= 0) return fallback;
+  return std::clamp(static_cast<std::size_t>(v), lo, hi);
+}
 
 struct RawEvent {
   const char* name = nullptr;
@@ -33,7 +44,7 @@ struct RawCounter {
 /// reads count with acquire ordering against the owner's release
 /// store, so harvested slots are fully written.
 struct ThreadBuffer {
-  explicit ThreadBuffer(int tid_) : events(kRingCapacity), tid(tid_) {}
+  explicit ThreadBuffer(int tid_) : events(ring_capacity()), tid(tid_) {}
 
   std::vector<RawEvent> events;
   std::atomic<std::size_t> count{0};
@@ -57,6 +68,39 @@ struct Registry {
 Registry& registry() {
   static Registry* r = new Registry;
   return *r;
+}
+
+/// Where the periodic flusher parks drained events between collects.
+/// Bounded: beyond `keep_spans` the oldest spans are discarded and
+/// counted as dropped, so a runaway service degrades loudly (the drop
+/// counter) instead of exhausting memory.
+struct FlushStore {
+  std::mutex mu;
+  std::vector<SpanRecord> spans;
+  std::vector<CounterTotal> counters;
+  std::uint64_t dropped = 0;
+  std::size_t keep_spans =
+      env_size("GMG_TRACE_FLUSH_KEEP", std::size_t{1} << 20,
+               std::size_t{1} << 10, std::size_t{1} << 26);
+};
+
+FlushStore& flush_store() {
+  static FlushStore* s = new FlushStore;
+  return *s;
+}
+
+/// The background flusher thread and its stop signal.
+struct Flusher {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  bool stop = false;
+  bool running = false;
+};
+
+Flusher& flusher() {
+  static Flusher* f = new Flusher;
+  return *f;
 }
 
 std::atomic<bool> g_enabled{true};
@@ -143,6 +187,13 @@ std::uint64_t now_ns() {
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
+std::size_t ring_capacity() {
+  static const std::size_t cap =
+      env_size("GMG_TRACE_RING", std::size_t{1} << 16, std::size_t{1} << 10,
+               std::size_t{1} << 24);
+  return cap;
+}
+
 void set_rank(int rank) { tls_rank = rank; }
 int current_rank() { return tls_rank; }
 
@@ -207,10 +258,13 @@ int Snapshot::max_rank() const {
   return m;
 }
 
-Snapshot collect(bool clear) {
+namespace {
+
+/// Drain every ring buffer into `snap` (unsorted). Holds the registry
+/// lock; the flush-store lock is never taken inside it.
+void harvest_rings(Snapshot& snap, bool clear) {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);
-  Snapshot snap;
   for (const auto& b : reg.buffers) {
     const std::size_t n =
         std::min(b->count.load(std::memory_order_acquire), b->events.size());
@@ -242,7 +296,11 @@ Snapshot collect(bool clear) {
       reg.free.push_back(std::move(*r));
     reg.buffers.erase(it, reg.buffers.end());
   }
+}
 
+/// Sort spans and merge per-(name, rank) counters — the snapshot
+/// ordering contract documented in trace.hpp.
+void finalize_snapshot(Snapshot& snap) {
   std::sort(snap.spans.begin(), snap.spans.end(),
             [](const SpanRecord& a, const SpanRecord& b) {
               if (a.rank != b.rank) return a.rank < b.rank;
@@ -267,9 +325,89 @@ Snapshot collect(bool clear) {
     }
   }
   snap.counters = std::move(merged);
+}
+
+}  // namespace
+
+Snapshot collect(bool clear) {
+  Snapshot snap;
+  // Flushed events precede anything still sitting in a ring, so they
+  // go in first (ordering is restored by the sort regardless).
+  {
+    FlushStore& fs = flush_store();
+    std::lock_guard<std::mutex> lock(fs.mu);
+    snap.spans = clear ? std::move(fs.spans) : fs.spans;
+    snap.counters = clear ? std::move(fs.counters) : fs.counters;
+    snap.dropped = fs.dropped;
+    if (clear) {
+      fs.spans.clear();
+      fs.counters.clear();
+      fs.dropped = 0;
+    }
+  }
+  harvest_rings(snap, clear);
+  finalize_snapshot(snap);
   return snap;
 }
 
 void clear() { (void)collect(/*clear=*/true); }
+
+void flush_now() {
+  Snapshot snap;
+  harvest_rings(snap, /*clear=*/true);
+  FlushStore& fs = flush_store();
+  std::lock_guard<std::mutex> lock(fs.mu);
+  fs.dropped += snap.dropped;
+  for (SpanRecord& s : snap.spans) fs.spans.push_back(std::move(s));
+  for (CounterTotal& c : snap.counters) fs.counters.push_back(std::move(c));
+  if (fs.spans.size() > fs.keep_spans) {
+    const std::size_t excess = fs.spans.size() - fs.keep_spans;
+    fs.spans.erase(fs.spans.begin(),
+                   fs.spans.begin() + static_cast<std::ptrdiff_t>(excess));
+    fs.dropped += excess;
+  }
+}
+
+void start_periodic_flush(double interval_seconds) {
+  if (!(interval_seconds > 0)) return;
+  Flusher& f = flusher();
+  stop_periodic_flush();
+  std::lock_guard<std::mutex> lock(f.mu);
+  f.stop = false;
+  f.running = true;
+  f.thread = std::thread([interval_seconds, &f] {
+    const auto interval = std::chrono::duration<double>(interval_seconds);
+    std::unique_lock<std::mutex> lock(f.mu);
+    while (!f.cv.wait_for(lock, interval, [&] { return f.stop; })) {
+      lock.unlock();
+      flush_now();
+      lock.lock();
+    }
+  });
+}
+
+bool start_periodic_flush_from_env() {
+  const char* s = std::getenv("GMG_TRACE_FLUSH_MS");
+  if (s == nullptr) return false;
+  char* end = nullptr;
+  const double ms = std::strtod(s, &end);
+  if (end == s || !(ms > 0)) return false;
+  start_periodic_flush(ms * 1e-3);
+  return true;
+}
+
+void stop_periodic_flush() {
+  Flusher& f = flusher();
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(f.mu);
+    if (!f.running) return;
+    f.stop = true;
+    f.running = false;
+    joinable = std::move(f.thread);
+  }
+  f.cv.notify_all();
+  joinable.join();
+}
 
 }  // namespace gmg::trace

@@ -54,6 +54,11 @@ std::uint64_t now_ns();
 bool enabled();
 void set_enabled(bool on);
 
+/// Events each per-thread ring buffer holds before it starts dropping.
+/// Configurable via GMG_TRACE_RING (events per ring, clamped to
+/// [2^10, 2^24]); resolved once, at the first buffer creation.
+std::size_t ring_capacity();
+
 /// Thread-local simulated-rank id attached to every event this thread
 /// records from now on. comm::World::run sets it on each rank thread;
 /// the main thread defaults to rank 0.
@@ -137,11 +142,40 @@ struct Snapshot {
   int max_rank() const;
 };
 
-/// Harvest every thread's ring buffer into one snapshot. With `clear`,
-/// buffers are reset and buffers of exited threads are recycled.
+/// Harvest every thread's ring buffer into one snapshot, merged with
+/// whatever the periodic flusher has accumulated. With `clear`,
+/// buffers (and the flush accumulator) are reset and buffers of exited
+/// threads are recycled.
 Snapshot collect(bool clear = true);
 
 /// Drop everything recorded so far (collect-and-discard).
 void clear();
+
+// ---------------------------------------------------------------------------
+// Periodic flushing: a long-running process (the solve service) emits
+// spans indefinitely, but each ring holds only ring_capacity() events.
+// The flusher drains every ring into a process-wide accumulator on an
+// interval, so collect() still returns the full history and nothing is
+// dropped silently. The accumulator itself is bounded (oldest spans
+// give way, counted in Snapshot::dropped): GMG_TRACE_FLUSH_KEEP spans,
+// default 2^20.
+// ---------------------------------------------------------------------------
+
+/// Start the background flusher (idempotent; restarting with a new
+/// interval replaces the old thread). interval_seconds must be > 0.
+void start_periodic_flush(double interval_seconds);
+
+/// Start from GMG_TRACE_FLUSH_MS (milliseconds between flushes);
+/// returns false (and does nothing) when the variable is unset or
+/// invalid.
+bool start_periodic_flush_from_env();
+
+/// Join the flusher thread. Accumulated events stay merged into the
+/// next collect(). Safe to call when no flusher runs.
+void stop_periodic_flush();
+
+/// One synchronous flush: drain all rings into the accumulator (what
+/// the background thread does each tick).
+void flush_now();
 
 }  // namespace gmg::trace

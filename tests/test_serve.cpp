@@ -1,0 +1,523 @@
+// SolveService end-to-end: concurrent requests bitwise-match solo
+// solves, hierarchy cache hit/eviction behavior, brick-arena reuse,
+// admission-queue backpressure, priorities, cancellation and
+// deadlines. Runs under TSan in ci/tier1.sh — the service is the
+// repo's most concurrent component (executor pool x simmpi worlds x
+// the shared exec engine).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gmg/solver.hpp"
+#include "mesh/array3d.hpp"
+#include "serve/service.hpp"
+
+namespace gmg::serve {
+namespace {
+
+real_t sine_rhs(real_t x, real_t y, real_t z) {
+  return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+         std::sin(2 * M_PI * z);
+}
+
+GmgOptions small_options(index_t bdim = 4, int levels = 3) {
+  GmgOptions o;
+  o.levels = levels;
+  o.smooths = 6;
+  o.bottom_smooths = 30;
+  o.tolerance = 1e-8;
+  o.max_vcycles = 40;
+  o.brick = BrickShape::cube(bdim);
+  return o;
+}
+
+/// Reference: the same request solved solo on a fresh solver.
+struct Reference {
+  SolveResult result;
+  std::vector<real_t> solution;
+};
+
+Reference solo_solve(const GmgOptions& opts, const DomainSpec& domain,
+                     const std::function<real_t(real_t, real_t, real_t)>& rhs,
+                     real_t tolerance, int max_vcycles) {
+  Reference ref;
+  const CartDecomp decomp(domain.global_extent, domain.rank_grid);
+  const int n = domain.ranks();
+  std::vector<std::unique_ptr<GmgSolver>> solvers;
+  std::vector<SolveResult> per_rank(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    solvers.push_back(std::make_unique<GmgSolver>(opts, decomp, r));
+  comm::World world(n);
+  world.run([&](comm::Communicator& c) {
+    GmgSolver& s = *solvers[static_cast<std::size_t>(c.rank())];
+    s.set_solve_params(tolerance, max_vcycles);
+    s.set_rhs(rhs);
+    per_rank[static_cast<std::size_t>(c.rank())] = s.solve(c);
+  });
+  ref.result = per_rank.front();
+  for (int r = 0; r < n; ++r) {
+    const BrickedArray& x = solvers[static_cast<std::size_t>(r)]->solution();
+    for_each(Box::from_extent(x.extent()),
+             [&](index_t i, index_t j, index_t k) {
+               ref.solution.push_back(x(i, j, k));
+             });
+  }
+  return ref;
+}
+
+/// Blocks callers until release()d; used to pin a request inside its
+/// solve so tests can control executor timing deterministically.
+struct Gate {
+  std::mutex m;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<bool> entered{false};
+
+  void wait() {
+    entered.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return open; });
+  }
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void await_entered() {
+    while (!entered.load(std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+};
+
+SolveRequest basic_request() {
+  SolveRequest req;
+  req.domain.global_extent = {32, 32, 32};
+  req.rhs = sine_rhs;
+  req.tolerance = 1e-8;
+  req.max_vcycles = 40;
+  return req;
+}
+
+TEST(SolveService, SingleRequestMatchesSoloSolverBitwise) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  SolveService service(cfg);
+  service.register_operator("poisson", small_options());
+
+  const SolveRequest req = basic_request();
+  const Reference ref = solo_solve(small_options(), req.domain, sine_rhs,
+                                   req.tolerance, req.max_vcycles);
+
+  const RequestResult& res = service.submit(req).get();
+  ASSERT_EQ(res.status, RequestStatus::kDone) << res.error;
+  EXPECT_TRUE(res.solve.converged);
+  EXPECT_FALSE(res.cache_hit);
+  EXPECT_EQ(res.solve.vcycles, ref.result.vcycles);
+  EXPECT_EQ(res.solve.final_residual, ref.result.final_residual);
+  ASSERT_EQ(res.solution.size(), ref.solution.size());
+  EXPECT_EQ(res.solution, ref.solution);
+}
+
+TEST(SolveService, CachedHierarchySolvesBitwiseIdenticalToCold) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  SolveService service(cfg);
+  service.register_operator("poisson", small_options());
+
+  const SolveRequest req = basic_request();
+  const RequestResult first = service.submit(req).get();  // cold
+  ASSERT_EQ(first.status, RequestStatus::kDone);
+  ASSERT_FALSE(first.cache_hit);
+
+  // Solve #2..#K reuse the hierarchy and arena-recycled storage; the
+  // acceptance bar is bitwise identity with solve #1.
+  for (int k = 0; k < 3; ++k) {
+    const RequestResult& res = service.submit(req).get();
+    ASSERT_EQ(res.status, RequestStatus::kDone);
+    EXPECT_TRUE(res.cache_hit);
+    EXPECT_EQ(res.setup_seconds, 0.0);
+    EXPECT_EQ(res.solve.vcycles, first.solve.vcycles);
+    EXPECT_EQ(res.solve.final_residual, first.solve.final_residual);
+    EXPECT_EQ(res.solve.history, first.solve.history);
+    EXPECT_EQ(res.solution, first.solution);
+  }
+
+  const ServiceReport rep = service.report();
+  EXPECT_EQ(rep.cache.hits, 3u);
+  EXPECT_EQ(rep.cache.misses, 1u);
+  // Arena: every attach after the first release finds pooled pages.
+  EXPECT_GE(rep.arena.reuse_ratio(), 0.9);
+}
+
+TEST(SolveService, EightConcurrentClientsMatchSequentialBitwise) {
+  const SolveRequest req = basic_request();
+  const Reference ref = solo_solve(small_options(), req.domain, sine_rhs,
+                                   req.tolerance, req.max_vcycles);
+
+  ServeConfig cfg;
+  cfg.executors = 2;
+  cfg.queue_capacity = 16;
+  SolveService service(cfg);
+  service.register_operator("poisson", small_options());
+
+  constexpr int kClients = 8;
+  std::vector<SolveFuture> futures(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i)
+      clients.emplace_back(
+          [&, i] { futures[static_cast<std::size_t>(i)] = service.submit(req); });
+    for (auto& t : clients) t.join();
+  }
+  for (int i = 0; i < kClients; ++i) {
+    const RequestResult& res = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(res.status, RequestStatus::kDone) << "client " << i;
+    EXPECT_EQ(res.solve.vcycles, ref.result.vcycles) << "client " << i;
+    EXPECT_EQ(res.solve.final_residual, ref.result.final_residual)
+        << "client " << i;
+    EXPECT_EQ(res.solve.history, ref.result.history) << "client " << i;
+    ASSERT_EQ(res.solution, ref.solution) << "client " << i;
+  }
+  const ServiceReport rep = service.report();
+  EXPECT_EQ(rep.completed, static_cast<std::uint64_t>(kClients));
+}
+
+TEST(SolveService, MultiRankDomainMatchesSoloWorld) {
+  SolveRequest req = basic_request();
+  req.domain.global_extent = {32, 16, 16};
+  req.domain.rank_grid = {2, 1, 1};
+  req.tolerance = 1e-6;
+  const GmgOptions opts = small_options(4, 2);
+
+  const Reference ref = solo_solve(opts, req.domain, sine_rhs, req.tolerance,
+                                   req.max_vcycles);
+
+  SolveService service;
+  service.register_operator("poisson", opts);
+  const RequestResult& res = service.submit(req).get();
+  ASSERT_EQ(res.status, RequestStatus::kDone) << res.error;
+  EXPECT_EQ(res.solve.converged, ref.result.converged);
+  EXPECT_EQ(res.solve.vcycles, ref.result.vcycles);
+  EXPECT_EQ(res.solve.history, ref.result.history);
+  EXPECT_EQ(res.solution, ref.solution);
+}
+
+TEST(SolveService, EvictsLeastRecentlyUsedHierarchy) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  cfg.cache_capacity = 1;
+  SolveService service(cfg);
+  service.register_operator("poisson", small_options());
+
+  SolveRequest a = basic_request();
+  SolveRequest b = basic_request();
+  b.domain.global_extent = {16, 16, 16};
+
+  ASSERT_EQ(service.submit(a).get().status, RequestStatus::kDone);  // miss
+  ASSERT_EQ(service.submit(b).get().status, RequestStatus::kDone);  // miss, evicts a
+  const RequestResult& again = service.submit(a).get();             // miss again
+  ASSERT_EQ(again.status, RequestStatus::kDone);
+  EXPECT_FALSE(again.cache_hit);
+
+  const ServiceReport rep = service.report();
+  EXPECT_EQ(rep.cache.misses, 3u);
+  EXPECT_GE(rep.cache.evictions, 1u);
+  EXPECT_LE(rep.cache.idle_entries, 1u);
+}
+
+TEST(SolveService, QueueFullBackpressure) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  cfg.queue_capacity = 1;
+  SolveService service(cfg);
+  service.register_operator("poisson", small_options(4, 2));
+
+  Gate gate;
+  SolveRequest pinned = basic_request();
+  pinned.domain.global_extent = {16, 16, 16};
+  pinned.rhs = [&](real_t x, real_t y, real_t z) {
+    gate.wait();
+    return sine_rhs(x, y, z);
+  };
+  SolveFuture running = service.submit(pinned);
+  gate.await_entered();  // executor is busy; queue is empty
+
+  SolveRequest quick = basic_request();
+  quick.domain.global_extent = {16, 16, 16};
+  SolveFuture queued = service.try_submit(quick);   // fills the queue
+  SolveFuture rejected = service.try_submit(quick); // bounces
+  ASSERT_TRUE(rejected.ready());
+  EXPECT_EQ(rejected.get().status, RequestStatus::kRejected);
+
+  // Blocking submit() parks until the executor frees a slot.
+  SolveFuture blocked;
+  std::thread submitter([&] { blocked = service.submit(quick); });
+  gate.release();
+  submitter.join();
+
+  EXPECT_EQ(running.get().status, RequestStatus::kDone);
+  EXPECT_EQ(queued.get().status, RequestStatus::kDone);
+  EXPECT_EQ(blocked.get().status, RequestStatus::kDone);
+  const ServiceReport rep = service.report();
+  EXPECT_EQ(rep.rejected, 1u);
+  EXPECT_EQ(rep.completed, 3u);
+  EXPECT_EQ(rep.queue_high_water, 1u);
+}
+
+TEST(SolveService, HigherPriorityRunsFirstWithinTheQueue) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  cfg.queue_capacity = 8;
+  SolveService service(cfg);
+  service.register_operator("poisson", small_options(4, 2));
+
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  auto tagged_rhs = [&](std::string tag) {
+    auto first = std::make_shared<std::atomic<bool>>(false);
+    return [&order_mu, &order, tag, first](real_t x, real_t y, real_t z) {
+      if (!first->exchange(true)) {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(tag);
+      }
+      return sine_rhs(x, y, z);
+    };
+  };
+
+  Gate gate;
+  SolveRequest pinned = basic_request();
+  pinned.domain.global_extent = {16, 16, 16};
+  pinned.rhs = [&](real_t x, real_t y, real_t z) {
+    gate.wait();
+    return sine_rhs(x, y, z);
+  };
+  SolveFuture running = service.submit(pinned);
+  gate.await_entered();
+
+  SolveRequest low = basic_request();
+  low.domain.global_extent = {16, 16, 16};
+  low.priority = 0;
+  low.rhs = tagged_rhs("low");
+  SolveRequest high = low;
+  high.priority = 5;
+  high.rhs = tagged_rhs("high");
+
+  SolveFuture f_low = service.submit(low);    // queued first...
+  SolveFuture f_high = service.submit(high);  // ...but outranked
+  gate.release();
+
+  EXPECT_EQ(running.get().status, RequestStatus::kDone);
+  EXPECT_EQ(f_low.get().status, RequestStatus::kDone);
+  EXPECT_EQ(f_high.get().status, RequestStatus::kDone);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "high");
+  EXPECT_EQ(order[1], "low");
+}
+
+TEST(SolveService, CancelWhileQueuedAndWhileRunning) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  SolveService service(cfg);
+  service.register_operator("poisson", small_options(4, 2));
+
+  Gate gate;
+  SolveRequest pinned = basic_request();
+  pinned.domain.global_extent = {16, 16, 16};
+  pinned.rhs = [&](real_t x, real_t y, real_t z) {
+    gate.wait();
+    return sine_rhs(x, y, z);
+  };
+  SolveFuture running = service.submit(pinned);
+  gate.await_entered();
+
+  // Cancel a request that is still queued: it never starts.
+  SolveRequest quick = basic_request();
+  quick.domain.global_extent = {16, 16, 16};
+  SolveFuture queued = service.submit(quick);
+  EXPECT_TRUE(queued.cancel());
+
+  // Cancel the in-flight request: its solve stops at the first cycle
+  // boundary with the cancelled flag set.
+  EXPECT_TRUE(running.cancel());
+  gate.release();
+
+  EXPECT_EQ(queued.get().status, RequestStatus::kCancelled);
+  const RequestResult& r = running.get();
+  EXPECT_EQ(r.status, RequestStatus::kCancelled);
+  EXPECT_TRUE(r.solve.cancelled);
+  EXPECT_EQ(r.solve.vcycles, 0);
+  EXPECT_FALSE(running.cancel());  // already complete
+
+  const ServiceReport rep = service.report();
+  EXPECT_EQ(rep.cancelled, 2u);
+}
+
+TEST(SolveService, DeadlineExpiresBeforeAndDuringExecution) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  SolveService service(cfg);
+  service.register_operator("poisson", small_options(4, 2));
+
+  Gate gate;
+  SolveRequest pinned = basic_request();
+  pinned.domain.global_extent = {16, 16, 16};
+  pinned.rhs = [&](real_t x, real_t y, real_t z) {
+    gate.wait();
+    return sine_rhs(x, y, z);
+  };
+  // The pinned request's deadline passes while it sits gated inside
+  // set_rhs (long after the admission pre-check): the solve then
+  // aborts at its first cycle boundary.
+  pinned.deadline_seconds = 0.05;
+  SolveFuture running = service.submit(pinned);
+  gate.await_entered();
+
+  // A queued request whose deadline passes while it waits never runs.
+  SolveRequest stale = basic_request();
+  stale.domain.global_extent = {16, 16, 16};
+  stale.deadline_seconds = 1e-6;
+  SolveFuture queued = service.submit(stale);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  gate.release();
+  EXPECT_EQ(queued.get().status, RequestStatus::kExpired);
+  const RequestResult& r = running.get();
+  EXPECT_EQ(r.status, RequestStatus::kExpired);
+  EXPECT_TRUE(r.solve.cancelled);
+
+  const ServiceReport rep = service.report();
+  EXPECT_EQ(rep.expired, 2u);
+}
+
+TEST(SolveService, UnknownOperatorFailsAndShutdownRejects) {
+  SolveService service;
+  service.register_operator("poisson", small_options(4, 2));
+
+  SolveRequest req = basic_request();
+  req.domain.global_extent = {16, 16, 16};
+  req.operator_id = "helmholtz";
+  const RequestResult& failed = service.submit(req).get();
+  EXPECT_EQ(failed.status, RequestStatus::kFailed);
+  EXPECT_NE(failed.error.find("helmholtz"), std::string::npos);
+
+  service.shutdown();
+  req.operator_id = "poisson";
+  const RequestResult& rejected = service.submit(req).get();
+  EXPECT_EQ(rejected.status, RequestStatus::kRejected);
+}
+
+TEST(SolveService, VariableCoefficientOperatorCachesCoefficient) {
+  OperatorSpec spec;
+  spec.options = small_options(4, 2);
+  spec.coefficient = [](real_t x, real_t y, real_t z) {
+    return 1.0 + 0.5 * std::sin(2 * M_PI * x) * std::cos(2 * M_PI * y) *
+                     std::sin(2 * M_PI * z);
+  };
+
+  ServeConfig cfg;
+  cfg.executors = 1;
+  SolveService service(cfg);
+  service.register_operator("varcoef", spec);
+
+  SolveRequest req = basic_request();
+  req.domain.global_extent = {16, 16, 16};
+  req.operator_id = "varcoef";
+  req.tolerance = 1e-7;
+
+  const RequestResult first = service.submit(req).get();
+  ASSERT_EQ(first.status, RequestStatus::kDone) << first.error;
+  EXPECT_TRUE(first.solve.converged);
+  // The cached hierarchy keeps the restricted coefficient; the hit
+  // must reproduce the cold solve bitwise without re-evaluating it.
+  const RequestResult& second = service.submit(req).get();
+  ASSERT_EQ(second.status, RequestStatus::kDone);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.solve.history, first.solve.history);
+  EXPECT_EQ(second.solution, first.solution);
+}
+
+// Satellite: the solver itself must be re-entrant — set_rhs + solve on
+// a used hierarchy is bitwise identical to solve #1 (no hidden
+// one-shot state).
+TEST(ReentrantSolver, RepeatedSolvesAreBitwiseIdentical) {
+  const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    GmgSolver solver(small_options(), decomp, 0);
+    solver.set_rhs(sine_rhs);
+    const SolveResult first = solver.solve(c);
+    Array3D x1({32, 32, 32}, 0);
+    solver.solution().copy_to(x1);
+
+    for (int k = 0; k < 2; ++k) {
+      solver.set_rhs(sine_rhs);
+      const SolveResult again = solver.solve(c);
+      EXPECT_EQ(again.vcycles, first.vcycles);
+      EXPECT_EQ(again.final_residual, first.final_residual);
+      EXPECT_EQ(again.history, first.history);
+      const BrickedArray& x = solver.solution();
+      for_each(Box::from_extent({32, 32, 32}),
+               [&](index_t i, index_t j, index_t k2) {
+                 ASSERT_EQ(x(i, j, k2), x1(i, j, k2));
+               });
+    }
+  });
+}
+
+TEST(ReentrantSolver, DetachAttachRoundTripMatchesFreshSolver) {
+  const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+  BrickArena arena;
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    GmgSolver fresh(small_options(), decomp, 0);
+    fresh.set_rhs(sine_rhs);
+    const SolveResult ref = fresh.solve(c);
+
+    GmgSolver solver(small_options(), decomp, 0);
+    solver.set_rhs(sine_rhs);
+    solver.solve(c);
+    solver.detach_field_storage(arena);
+    EXPECT_TRUE(solver.storage_detached());
+    solver.attach_field_storage(arena);
+    EXPECT_FALSE(solver.storage_detached());
+
+    solver.set_rhs(sine_rhs);
+    const SolveResult res = solver.solve(c);
+    EXPECT_EQ(res.vcycles, ref.vcycles);
+    EXPECT_EQ(res.history, ref.history);
+    const BrickedArray& xa = solver.solution();
+    const BrickedArray& xb = fresh.solution();
+    for_each(Box::from_extent({32, 32, 32}),
+             [&](index_t i, index_t j, index_t k) {
+               ASSERT_EQ(xa(i, j, k), xb(i, j, k));
+             });
+  });
+  EXPECT_GE(arena.stats().hits, 1u);
+}
+
+TEST(SolverControl, PreCancelledControlStopsBeforeFirstCycle) {
+  const CartDecomp decomp({16, 16, 16}, {1, 1, 1});
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    GmgSolver solver(small_options(4, 2), decomp, 0);
+    solver.set_rhs(sine_rhs);
+    SolveControl control;
+    control.cancel.store(true);
+    const SolveResult res = solver.solve(c, &control);
+    EXPECT_TRUE(res.cancelled);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.vcycles, 0);
+  });
+}
+
+}  // namespace
+}  // namespace gmg::serve
