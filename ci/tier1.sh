@@ -15,6 +15,12 @@
 #      pool / hierarchy cache / brick arena (§12) are exactly what a
 #      race detector must see scheduled live.
 #
+#   4. A static stage: the gmg_lint invariant checker, clang-tidy over
+#      src/ when the binary is available (the CI image may only carry
+#      gcc — then it warns and skips), and the `check`-labelled ctest
+#      subset re-run with GMG_CHECK=1 so the access-hazard detector is
+#      live for the seeded-bug and V-cycle-clean tests.
+#
 # Usage: ci/tier1.sh [--skip-asan] [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +31,22 @@ echo "== tier 1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+echo "== tier 1: static stage =="
+echo "-- gmg_lint"
+./build/tools/gmg_lint .
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  echo "-- clang-tidy (src/)"
+  run-clang-tidy -p build -quiet "src/.*\.cpp$"
+elif command -v clang-tidy >/dev/null 2>&1; then
+  echo "-- clang-tidy (src/, serial)"
+  find src -name '*.cpp' -print0 |
+    xargs -0 -n1 -P"${JOBS}" clang-tidy -p build --quiet
+else
+  echo "-- clang-tidy not installed; skipping (configs in .clang-tidy)"
+fi
+echo "-- checker-enabled test subset (GMG_CHECK=1, label: check)"
+GMG_CHECK=1 ctest --test-dir build --output-on-failure -L check -j"${JOBS}"
 
 # The solver must produce bitwise-identical results at any worker
 # count; run the solver suite serial and at the hardware default to

@@ -10,6 +10,7 @@
 #include <type_traits>
 
 #include "brick/brick_grid.hpp"
+#include "check/shadow.hpp"
 #include "exec/runtime.hpp"
 
 namespace gmg {
@@ -22,6 +23,13 @@ namespace gmg {
 template <typename BD, typename Fn>
 void for_each_plan_brick(const char* name, const BrickIterPlan& plan,
                          Fn&& per_brick) {
+  if (check::enabled()) {
+    // A corrupt plan (duplicate ids, clip bounds escaping the brick)
+    // would fan writes outside the kernel's declared region in ways
+    // the deterministic chunk schedule hides from TSan.
+    check::validate_plan(name, plan.items.data(), plan.items.size(),
+                         plan.num_full, Vec3{BD::bx, BD::by, BD::bz});
+  }
   const std::int64_t nf = plan.num_full;
   exec::parallel_for(
       name, static_cast<std::int64_t>(plan.items.size()),

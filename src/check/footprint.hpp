@@ -1,0 +1,136 @@
+// Compile-time stencil footprint verification (layer 1 of src/check).
+//
+// Every DSL expression exposes its exact tap set via offsets()
+// (dsl/expr.hpp); this header supplies the reference shapes the
+// library's operators must match, static_assert-able matchers, and the
+// solver-setup checks that turn a silent out-of-ghost read into an
+// immediate gmg::Error. Ghost storage is always one brick layer deep
+// (BrickedArray::ghost_depth), so "fits" means: per-axis reach <=
+// brick dimension, both for a single application and for the layers a
+// communication-avoiding sweep consumes per iteration.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "brick/brick_shape.hpp"
+#include "common/error.hpp"
+#include "dsl/expr.hpp"
+
+namespace gmg::check {
+
+/// The classic star of `radius`: center + 6 face rays.
+constexpr dsl::OffsetSet star_shape(int radius, int slot = 0) {
+  dsl::OffsetSet s;
+  s.add(dsl::Tap{slot, 0, 0, 0});
+  for (int d = 1; d <= radius; ++d) {
+    s.add(dsl::Tap{slot, d, 0, 0});
+    s.add(dsl::Tap{slot, -d, 0, 0});
+    s.add(dsl::Tap{slot, 0, d, 0});
+    s.add(dsl::Tap{slot, 0, -d, 0});
+    s.add(dsl::Tap{slot, 0, 0, d});
+    s.add(dsl::Tap{slot, 0, 0, -d});
+  }
+  return s;
+}
+
+/// The dense box of `radius`: (2r+1)^3 taps (r=1 is the 27-point box).
+constexpr dsl::OffsetSet box_shape(int radius, int slot = 0) {
+  dsl::OffsetSet s;
+  for (int dz = -radius; dz <= radius; ++dz) {
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        s.add(dsl::Tap{slot, dx, dy, dz});
+      }
+    }
+  }
+  return s;
+}
+
+/// Full-weighting restriction: each coarse cell reads its 2x2x2 fine
+/// octant — offsets {0,1}^3 in fine-cell coordinates.
+constexpr dsl::OffsetSet restriction_shape(int slot = 0) {
+  dsl::OffsetSet s;
+  for (int dz = 0; dz <= 1; ++dz) {
+    for (int dy = 0; dy <= 1; ++dy) {
+      for (int dx = 0; dx <= 1; ++dx) {
+        s.add(dsl::Tap{slot, dx, dy, dz});
+      }
+    }
+  }
+  return s;
+}
+
+/// Piecewise-constant interpolation: each fine cell reads exactly its
+/// parent coarse cell.
+constexpr dsl::OffsetSet interpolation_pc_shape(int slot = 0) {
+  dsl::OffsetSet s;
+  s.add(dsl::Tap{slot, 0, 0, 0});
+  return s;
+}
+
+/// Trilinear (FMG) interpolation: a fine cell reads 8 coarse cells;
+/// over both parities per axis the union is the radius-1 box of its
+/// parent — this is why FMG needs one valid coarse ghost layer.
+constexpr dsl::OffsetSet interpolation_trilinear_shape(int slot = 0) {
+  return box_shape(1, slot);
+}
+
+constexpr bool same_footprint(const dsl::OffsetSet& a,
+                              const dsl::OffsetSet& b) {
+  return a.same_taps(b);
+}
+
+namespace detail {
+inline std::string extents_str(const dsl::Extents& e) {
+  std::string s = "[";
+  for (int d = 0; d < 3; ++d) {
+    if (d) s += ", ";
+    s += std::to_string(e.lo[d]) + ".." + std::to_string(e.hi[d]);
+  }
+  return s + "]";
+}
+}  // namespace detail
+
+/// True when every tap of `ext` stays within one brick layer of ghost
+/// storage around the active region — the constexpr form, usable as
+/// `static_assert(footprint_fits(expr.offsets().extents(), 4, 4, 4))`.
+constexpr bool footprint_fits(const dsl::Extents& ext, index_t bx, index_t by,
+                              index_t bz) {
+  const index_t depth[3] = {bx, by, bz};
+  for (int d = 0; d < 3; ++d) {
+    if (-ext.lo[d] > depth[d] || ext.hi[d] > depth[d]) return false;
+  }
+  return true;
+}
+
+/// Setup check: throws gmg::Error when a stencil's reach exceeds the
+/// one-brick ghost depth of `shape` on any axis.
+inline void require_footprint_fits(const std::string& what,
+                                   const dsl::Extents& ext,
+                                   const BrickShape& shape) {
+  GMG_REQUIRE(footprint_fits(ext, shape.bx, shape.by, shape.bz),
+              what + ": stencil reach " + detail::extents_str(ext) +
+                  " exceeds the ghost depth of brick " +
+                  std::to_string(shape.bx) + "x" + std::to_string(shape.by) +
+                  "x" + std::to_string(shape.bz) +
+                  " (ghost storage is one brick layer deep)");
+}
+
+/// Setup check for communication-avoiding smoothing: each sweep
+/// consumes `layers_per_sweep` ghost layers of margin (the operator
+/// radius for Jacobi/Chebyshev, 2 for a red+black GS iteration); the
+/// margin refills to the brick dimension per exchange, so at least one
+/// sweep must fit or the smoother can never make progress.
+inline void require_ghost_capacity(const std::string& what,
+                                   const BrickShape& shape,
+                                   index_t layers_per_sweep) {
+  const index_t depth = std::min(shape.bx, std::min(shape.by, shape.bz));
+  GMG_REQUIRE(layers_per_sweep <= depth,
+              what + ": consumes " + std::to_string(layers_per_sweep) +
+                  " ghost layers per sweep but the brick shape provides only " +
+                  std::to_string(depth) +
+                  " (deep-ghost margin refills one brick layer per exchange)");
+}
+
+}  // namespace gmg::check

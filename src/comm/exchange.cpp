@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "check/shadow.hpp"
 #include "trace/trace.hpp"
 
 namespace gmg::comm {
@@ -224,6 +225,20 @@ void BrickExchange::begin(Communicator& comm,
     }
   }
 
+  // Hazard tracking: the receive ghost ranges of every field are now
+  // in flight until finish(). Sends need no marking — kPackFree buffers
+  // them inside isendv at post time, kPacked stages them above, and
+  // self-copies completed synchronously in the pack phase.
+  if (check::enabled()) {
+    std::vector<BrickRange> ghost;
+    for (const DirectionPlan& plan : plans_) {
+      if (!plan.self) ghost.push_back(plan.recv_range);
+    }
+    for (BrickedArray* f : fields) {
+      check::on_exchange_begin(f->data(), grid_.get(), ghost);
+    }
+  }
+
   inflight_fields_ = std::move(fields);
   in_flight_ = true;
 }
@@ -261,6 +276,11 @@ void BrickExchange::finish(Communicator& comm) {
                         brick_bytes);
         src += static_cast<std::size_t>(plan.recv_range.count) * vol;
       }
+    }
+  }
+  if (check::enabled()) {
+    for (BrickedArray* f : inflight_fields_) {
+      check::on_exchange_finish(f->data());
     }
   }
   inflight_fields_.clear();

@@ -39,7 +39,7 @@ struct ConstSegment {
 
   ConstSegment() = default;
   ConstSegment(const void* d, std::size_t b) : data(d), bytes(b) {}
-  ConstSegment(const Segment& s) : data(s.data), bytes(s.bytes) {}
+  explicit ConstSegment(const Segment& s) : data(s.data), bytes(s.bytes) {}
 };
 
 namespace detail {

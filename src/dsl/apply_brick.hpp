@@ -15,10 +15,13 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <tuple>
 
 #include "brick/brick_plan.hpp"
 #include "brick/bricked_array.hpp"
+#include "check/footprint.hpp"
+#include "check/shadow.hpp"
 #include "dsl/expr.hpp"
 
 namespace gmg::dsl {
@@ -77,13 +80,37 @@ void apply_bricks_impl(BD, const Expr& expr, BrickedArray& out,
   };
   (check_grid(inputs), ...);
 
+  // Footprint-vs-ghost-depth check (src/check): an undersized ghost
+  // depth is a setup failure here, not a silent out-of-ghost read in
+  // the accessor.
   const Extents ext = expr.extents();
-  const int r = ext.radius();
-  GMG_REQUIRE(r <= BD::bx && r <= BD::by && r <= BD::bz,
-              "stencil radius exceeds brick dimension");
+  check::require_footprint_fits("dsl::apply",
+                                ext, BrickShape{BD::bx, BD::by, BD::bz});
 
   constexpr int kSlots = sizeof...(Fields);
   const std::array<const real_t*, kSlots> bases{inputs.data()...};
+
+  // Access-hazard scope: out is written over `active`; each input is
+  // read over `active` grown by its own slot's tap reach.
+  std::optional<check::KernelScope> scope;
+  if (check::enabled()) {
+    const OffsetSet offs = expr.offsets();
+    std::vector<check::Access> reads;
+    reads.reserve(kSlots);
+    int slot = 0;
+    const auto add_read = [&](const BrickedArray& f) {
+      const Extents se = offs.slot_extents(slot++);
+      const Box reach{{active.lo.x + se.lo[0], active.lo.y + se.lo[1],
+                       active.lo.z + se.lo[2]},
+                      {active.hi.x + se.hi[0], active.hi.y + se.hi[1],
+                       active.hi.z + se.hi[2]}};
+      reads.push_back(check::access(f, reach));
+    };
+    (add_read(inputs), ...);
+    scope.emplace("dsl.apply",
+                  std::vector<check::Access>{check::access(out, active)},
+                  std::move(reads));
+  }
 
   // Taps of the outermost active cells must still hit existing bricks
   // (the plan itself validates the active region's own brick cover).

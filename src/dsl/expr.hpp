@@ -22,6 +22,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace gmg::dsl {
@@ -66,10 +67,113 @@ struct Extents {
   }
 };
 
+/// One field tap of an expression: which input slot it reads and at
+/// what relative offset.
+struct Tap {
+  int slot = 0;
+  int dx = 0, dy = 0, dz = 0;
+
+  constexpr friend bool operator==(const Tap& a, const Tap& b) {
+    return a.slot == b.slot && a.dx == b.dx && a.dy == b.dy && a.dz == b.dz;
+  }
+};
+
+/// Deduplicated set of taps — the exact footprint of a stencil
+/// expression, built structurally by offsets() on every DSL node.
+/// Everything here is constexpr: an expression constructed from
+/// literal coefficients yields a footprint usable in static_assert
+/// (the compile-time half of src/check).
+struct OffsetSet {
+  // The largest shipped stencil is the radius-4 star (25 taps); the
+  // 27-point box uses 27. Leave generous room for composed exprs.
+  static constexpr int kCapacity = 160;
+
+  Tap taps[kCapacity] = {};
+  int count = 0;
+
+  constexpr bool contains(const Tap& t) const {
+    for (int n = 0; n < count; ++n) {
+      if (taps[n] == t) return true;
+    }
+    return false;
+  }
+  constexpr bool contains(int slot, int dx, int dy, int dz) const {
+    return contains(Tap{slot, dx, dy, dz});
+  }
+
+  constexpr void add(const Tap& t) {
+    if (contains(t)) return;
+    GMG_REQUIRE(count < kCapacity, "stencil footprint exceeds OffsetSet capacity");
+    taps[count] = t;
+    ++count;
+  }
+
+  constexpr OffsetSet merged(const OffsetSet& o) const {
+    OffsetSet r = *this;
+    for (int n = 0; n < o.count; ++n) r.add(o.taps[n]);
+    return r;
+  }
+
+  constexpr int num_taps() const { return count; }
+
+  /// Set equality (order-independent; both sides are deduplicated).
+  constexpr bool same_taps(const OffsetSet& o) const {
+    if (count != o.count) return false;
+    for (int n = 0; n < count; ++n) {
+      if (!o.contains(taps[n])) return false;
+    }
+    return true;
+  }
+
+  /// Per-axis reach over every tap of every slot.
+  constexpr Extents extents() const {
+    Extents e;
+    for (int n = 0; n < count; ++n) {
+      Extents t;
+      t.lo[0] = std::min(taps[n].dx, 0);
+      t.hi[0] = std::max(taps[n].dx, 0);
+      t.lo[1] = std::min(taps[n].dy, 0);
+      t.hi[1] = std::max(taps[n].dy, 0);
+      t.lo[2] = std::min(taps[n].dz, 0);
+      t.hi[2] = std::max(taps[n].dz, 0);
+      e = e.merged(t);
+    }
+    return e;
+  }
+
+  /// Per-axis reach of one input slot only (e.g. the coefficient field
+  /// of a variable-coefficient operator has a tighter footprint than
+  /// the solution field).
+  constexpr Extents slot_extents(int slot) const {
+    Extents e;
+    for (int n = 0; n < count; ++n) {
+      if (taps[n].slot != slot) continue;
+      Extents t;
+      t.lo[0] = std::min(taps[n].dx, 0);
+      t.hi[0] = std::max(taps[n].dx, 0);
+      t.lo[1] = std::min(taps[n].dy, 0);
+      t.hi[1] = std::max(taps[n].dy, 0);
+      t.lo[2] = std::min(taps[n].dz, 0);
+      t.hi[2] = std::max(taps[n].dz, 0);
+      e = e.merged(t);
+    }
+    return e;
+  }
+
+  constexpr int radius() const { return extents().radius(); }
+
+  constexpr int max_slot() const {
+    int m = -1;
+    for (int n = 0; n < count; ++n) m = std::max(m, taps[n].slot);
+    return m;
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Expression nodes. Each node provides:
 //   eval(acc, i, j, k) -> real_t     evaluate at a point via the accessor
 //   extents() -> Extents             static tap reach
+//   offsets() -> OffsetSet           exact (slot, offset) tap set
 // Accessors provide: load(slot, i+dx, j+dy, k+dz) -> real_t.
 // ---------------------------------------------------------------------------
 
@@ -91,6 +195,11 @@ struct GridAccess {
     e.lo[2] = std::min(off.dz, 0);
     e.hi[2] = std::max(off.dz, 0);
     return e;
+  }
+  constexpr OffsetSet offsets() const {
+    OffsetSet s;
+    s.add(Tap{Slot, off.dx, off.dy, off.dz});
+    return s;
   }
 };
 
@@ -114,6 +223,7 @@ struct Coef {
     return value;
   }
   constexpr Extents extents() const { return {}; }
+  constexpr OffsetSet offsets() const { return {}; }
 };
 
 template <typename L, typename R>
@@ -125,6 +235,7 @@ struct Add {
     return l.eval(a, i, j, k) + r.eval(a, i, j, k);
   }
   constexpr Extents extents() const { return l.extents().merged(r.extents()); }
+  constexpr OffsetSet offsets() const { return l.offsets().merged(r.offsets()); }
 };
 
 template <typename L, typename R>
@@ -136,6 +247,7 @@ struct Sub {
     return l.eval(a, i, j, k) - r.eval(a, i, j, k);
   }
   constexpr Extents extents() const { return l.extents().merged(r.extents()); }
+  constexpr OffsetSet offsets() const { return l.offsets().merged(r.offsets()); }
 };
 
 template <typename L, typename R>
@@ -147,6 +259,7 @@ struct Mul {
     return l.eval(a, i, j, k) * r.eval(a, i, j, k);
   }
   constexpr Extents extents() const { return l.extents().merged(r.extents()); }
+  constexpr OffsetSet offsets() const { return l.offsets().merged(r.offsets()); }
 };
 
 template <typename E>
@@ -157,6 +270,7 @@ struct Neg {
     return -e.eval(a, i, j, k);
   }
   constexpr Extents extents() const { return e.extents(); }
+  constexpr OffsetSet offsets() const { return e.offsets(); }
 };
 
 // Trait gating the operators to DSL node types only.

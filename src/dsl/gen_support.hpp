@@ -5,8 +5,12 @@
 // emitted code is just the unrolled, coefficient-factored loop body.
 #pragma once
 
+#include <optional>
+
 #include "brick/brick_plan.hpp"
 #include "brick/bricked_array.hpp"
+#include "check/footprint.hpp"
+#include "check/shadow.hpp"
 
 namespace gmg::dsl::gen {
 
@@ -89,6 +93,31 @@ void run_plan(const BrickGrid& grid, const Box& active, int radius,
   require_tap_reach<BD>(grid, active, radius);
   const auto plan = grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
   for_each_plan_brick<BD>(name, *plan, body);
+}
+
+/// As above, but with the kernel's fields declared for the src/check
+/// access-hazard detector: `out` is written over `active`, `in` read
+/// over `active` grown by the stencil radius. stencilgen emits calls
+/// to this overload; the footprint-vs-ghost-depth check runs here too.
+template <typename BD, typename Fn>
+void run_plan(BrickedArray& out, const BrickedArray& in, const Box& active,
+              int radius, const char* name, Fn&& body) {
+  {
+    Extents ext;
+    for (int d = 0; d < 3; ++d) {
+      ext.lo[d] = -radius;
+      ext.hi[d] = radius;
+    }
+    check::require_footprint_fits(name, ext,
+                                  BrickShape{BD::bx, BD::by, BD::bz});
+  }
+  std::optional<check::KernelScope> scope;
+  if (check::enabled()) {
+    scope.emplace(
+        name, std::vector<check::Access>{check::access(out, active)},
+        std::vector<check::Access>{check::access(in, grow(active, radius))});
+  }
+  run_plan<BD>(out.grid(), active, radius, name, body);
 }
 
 }  // namespace gmg::dsl::gen

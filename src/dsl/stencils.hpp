@@ -24,6 +24,26 @@ constexpr auto laplacian_7pt(real_t alpha, real_t beta) {
                        x(i, j - 1, k) + x(i, j, k + 1) + x(i, j, k - 1));
 }
 
+/// 27-point box stencil: c0*center + c1*(6 faces) + c2*(12 edges) +
+/// c3*(8 corners) — the compact radius-1 footprint used by 27-point
+/// discretizations; here chiefly a footprint-analysis reference shape.
+template <int Slot = 0>
+constexpr auto box_27pt(real_t c0, real_t c1, real_t c2, real_t c3) {
+  Grid<Slot> x;
+  auto faces = x(i + 1, j, k) + x(i - 1, j, k) + x(i, j + 1, k) +
+               x(i, j - 1, k) + x(i, j, k + 1) + x(i, j, k - 1);
+  auto edges = x(i + 1, j + 1, k) + x(i + 1, j - 1, k) + x(i - 1, j + 1, k) +
+               x(i - 1, j - 1, k) + x(i + 1, j, k + 1) + x(i + 1, j, k - 1) +
+               x(i - 1, j, k + 1) + x(i - 1, j, k - 1) + x(i, j + 1, k + 1) +
+               x(i, j + 1, k - 1) + x(i, j - 1, k + 1) + x(i, j - 1, k - 1);
+  auto corners = x(i + 1, j + 1, k + 1) + x(i + 1, j + 1, k - 1) +
+                 x(i + 1, j - 1, k + 1) + x(i + 1, j - 1, k - 1) +
+                 x(i - 1, j + 1, k + 1) + x(i - 1, j + 1, k - 1) +
+                 x(i - 1, j - 1, k + 1) + x(i - 1, j - 1, k - 1);
+  return Coef(c0) * x(i, j, k) + Coef(c1) * faces + Coef(c2) * edges +
+         Coef(c3) * corners;
+}
+
 /// Star stencil of radius R with per-distance coefficients:
 /// c[0]*center + sum_d c[d]*(6 neighbors at distance d). Exercises the
 /// DSL and the brick engine's shell/core split at larger radii.

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstring>
+#include <optional>
 
 #include "brick/brick_plan.hpp"
+#include "check/shadow.hpp"
 #include "dsl/apply_brick.hpp"
 #include "dsl/stencils.hpp"
 #include "exec/runtime.hpp"
@@ -172,6 +174,9 @@ void apply_op(BrickedArray& Ax, const BrickedArray& x, real_t alpha,
   // 7-point star: 2 multiplies + 6 adds per output cell.
   trace::TraceSpan span("kernel.applyOp");
   count_flops(box_points(active), 8);
+  const auto scope = check::scope_if_enabled(
+      "kernel.applyOp", {check::access(Ax, active)},
+      {check::access(x, grow(active, 1))});
   with_brick_dims(x.shape(), [&](auto bd) {
     apply_op_7pt(bd, Ax, x, alpha, beta, active);
   });
@@ -181,6 +186,9 @@ void smooth(BrickedArray& x, const BrickedArray& Ax, const BrickedArray& b,
             real_t gamma, const Box& active) {
   trace::TraceSpan span("kernel.smooth");
   count_flops(box_points(active), 3);
+  const auto scope = check::scope_if_enabled(
+      "kernel.smooth", {check::access(x, active)},
+      {check::access(Ax, active), check::access(b, active)});
   with_brick_dims(x.shape(), [&](auto bd) {
     real_t* __restrict xp = x.data();
     const real_t* __restrict axp = Ax.data();
@@ -199,6 +207,10 @@ void smooth_residual(BrickedArray& x, BrickedArray& r, const BrickedArray& Ax,
                      const BrickedArray& b, real_t gamma, const Box& active) {
   trace::TraceSpan span("kernel.smoothResidual");
   count_flops(box_points(active), 4);
+  const auto scope = check::scope_if_enabled(
+      "kernel.smoothResidual",
+      {check::access(x, active), check::access(r, active)},
+      {check::access(Ax, active), check::access(b, active)});
   with_brick_dims(x.shape(), [&](auto bd) {
     real_t* __restrict xp = x.data();
     real_t* __restrict rp = r.data();
@@ -221,6 +233,9 @@ void residual(BrickedArray& r, const BrickedArray& b, const BrickedArray& Ax,
               const Box& active) {
   trace::TraceSpan span("kernel.residual");
   count_flops(box_points(active), 1);
+  const auto scope = check::scope_if_enabled(
+      "kernel.residual", {check::access(r, active)},
+      {check::access(b, active), check::access(Ax, active)});
   with_brick_dims(r.shape(), [&](auto bd) {
     real_t* __restrict rp = r.data();
     const real_t* __restrict axp = Ax.data();
@@ -244,6 +259,9 @@ void restriction(BrickedArray& coarse, const BrickedArray& fine) {
   count_flops(static_cast<std::uint64_t>(ce.x) * ce.y * ce.z, 8);
   GMG_REQUIRE(fine.shape() == coarse.shape(),
               "restriction assumes equal brick shapes on both levels");
+  const auto scope = check::scope_if_enabled(
+      "kernel.restriction", {check::access(coarse, Box::from_extent(ce))},
+      {check::access(fine, Box::from_extent(fe))});
   with_brick_dims(fine.shape(), [&](auto bd) {
     using BD = decltype(bd);
     static_assert(BD::bx % 2 == 0 && BD::by % 2 == 0 && BD::bz % 2 == 0);
@@ -299,6 +317,9 @@ void interpolation_increment(BrickedArray& fine, const BrickedArray& coarse) {
   count_flops(static_cast<std::uint64_t>(fe.x) * fe.y * fe.z, 1);
   GMG_REQUIRE(fine.shape() == coarse.shape(),
               "interpolation assumes equal brick shapes on both levels");
+  const auto scope = check::scope_if_enabled(
+      "kernel.interpIncrement", {check::access(fine, Box::from_extent(fe))},
+      {check::access(coarse, Box::from_extent(ce))});
   with_brick_dims(fine.shape(), [&](auto bd) {
     using BD = decltype(bd);
     const BrickGrid& fg = fine.grid();
@@ -342,6 +363,9 @@ void gs_color_sweep(BrickedArray& x, const BrickedArray& b, real_t alpha,
   // (6 adds, 1 multiply, 1 subtract, 1 divide).
   trace::TraceSpan span("kernel.gsColorSweep");
   count_flops(box_points(active) / 2, 9);
+  const auto scope = check::scope_if_enabled(
+      "kernel.gsColorSweep", {check::access(x, active)},
+      {check::access(x, grow(active, 1)), check::access(b, active)});
   with_brick_dims(x.shape(), [&](auto bd) {
     using BD = decltype(bd);
     const BrickGrid& grid = x.grid();
@@ -425,6 +449,17 @@ void gs_color_sweep(BrickedArray& x, const BrickedArray& b, real_t alpha,
 }
 
 void init_zero(BrickedArray& a) {
+  // Writes every brick of the storage, ghosts included.
+  std::optional<check::KernelScope> scope;
+  if (check::enabled()) {
+    const Box bricks = a.grid().extended_box();
+    const Vec3 d = a.shape().dims();
+    const Box cells{{bricks.lo.x * d.x, bricks.lo.y * d.y, bricks.lo.z * d.z},
+                    {bricks.hi.x * d.x, bricks.hi.y * d.y, bricks.hi.z * d.z}};
+    scope.emplace("kernel.initZero",
+                  std::vector<check::Access>{check::access(a, cells)},
+                  std::vector<check::Access>{});
+  }
   real_t* __restrict p = a.data();
   exec::parallel_for("kernel.initZero", static_cast<std::int64_t>(a.size()),
                      exec::kElementGrain, [&](std::int64_t lo, std::int64_t hi) {
@@ -511,6 +546,9 @@ void copy_interior(BrickedArray& dst, const BrickedArray& src) {
 
 void axpy(BrickedArray& y, real_t alpha, const BrickedArray& x,
           const Box& active) {
+  const auto scope = check::scope_if_enabled("kernel.axpyActive",
+                                             {check::access(y, active)},
+                                             {check::access(x, active)});
   with_brick_dims(y.shape(), [&](auto bd) {
     real_t* __restrict py = y.data();
     const real_t* __restrict px = x.data();
@@ -526,6 +564,9 @@ void axpy(BrickedArray& y, real_t alpha, const BrickedArray& x,
 
 void cheby_p_update(BrickedArray& p, const BrickedArray& r, real_t inv_diag,
                     real_t beta, const Box& active) {
+  const auto scope = check::scope_if_enabled("kernel.chebyP",
+                                             {check::access(p, active)},
+                                             {check::access(r, active)});
   with_brick_dims(p.shape(), [&](auto bd) {
     real_t* __restrict pp = p.data();
     const real_t* __restrict pr = r.data();
@@ -545,6 +586,9 @@ void interpolation_assign(BrickedArray& fine, const BrickedArray& coarse) {
               "fine extent must be twice the coarse extent");
   GMG_REQUIRE(fine.shape() == coarse.shape(),
               "interpolation assumes equal brick shapes on both levels");
+  const auto scope = check::scope_if_enabled(
+      "kernel.interpAssign", {check::access(fine, Box::from_extent(fe))},
+      {check::access(coarse, Box::from_extent(ce))});
   with_brick_dims(fine.shape(), [&](auto bd) {
     using BD = decltype(bd);
     const BrickGrid& fg = fine.grid();
@@ -590,6 +634,9 @@ void interpolation_trilinear_assign(BrickedArray& fine,
   // level, not in the V-cycle hot path. Chunked over k-planes (each
   // fine cell writes only its own plane).
   const Box interior = Box::from_extent(fe);
+  const auto scope = check::scope_if_enabled(
+      "kernel.interpTrilinear", {check::access(fine, interior)},
+      {check::access(coarse, grow(Box::from_extent(ce), 1))});
   exec::parallel_for(
       "kernel.interpTrilinear", fe.z, 1, [&](std::int64_t klo, std::int64_t khi) {
         for (index_t k = static_cast<index_t>(klo);

@@ -1,6 +1,7 @@
 #include "gmg/operators_varcoef.hpp"
 
 #include "brick/brick_plan.hpp"
+#include "check/shadow.hpp"
 #include "dsl/apply_brick.hpp"
 #include "dsl/stencils.hpp"
 #include "trace/trace.hpp"
@@ -87,6 +88,11 @@ void smooth_residual_varcoef(BrickedArray& x, BrickedArray& r,
                              const Box& active) {
   trace::TraceSpan span("kernel.smoothResidualVarCoef");
   count_flops_vc(active, 6);
+  const auto scope = check::scope_if_enabled(
+      "kernel.smoothResidualVarCoef",
+      {check::access(x, active), check::access(r, active)},
+      {check::access(Ax, active), check::access(b, active),
+       check::access(diag, active)});
   with_brick_dims(x.shape(), [&](auto bd) {
     real_t* __restrict xp = x.data();
     real_t* __restrict rp = r.data();
@@ -111,6 +117,10 @@ void smooth_varcoef(BrickedArray& x, const BrickedArray& Ax,
                     real_t omega, const Box& active) {
   trace::TraceSpan span("kernel.smoothVarCoef");
   count_flops_vc(active, 5);
+  const auto scope = check::scope_if_enabled(
+      "kernel.smoothVarCoef", {check::access(x, active)},
+      {check::access(Ax, active), check::access(b, active),
+       check::access(diag, active)});
   with_brick_dims(x.shape(), [&](auto bd) {
     real_t* __restrict xp = x.data();
     const real_t* __restrict axp = Ax.data();
@@ -130,6 +140,9 @@ void smooth_varcoef(BrickedArray& x, const BrickedArray& Ax,
 void cheby_p_update_varcoef(BrickedArray& p, const BrickedArray& r,
                             const BrickedArray& diag, real_t beta_ch,
                             const Box& active) {
+  const auto scope = check::scope_if_enabled(
+      "kernel.chebyPVarCoef", {check::access(p, active)},
+      {check::access(r, active), check::access(diag, active)});
   with_brick_dims(p.shape(), [&](auto bd) {
     real_t* __restrict pp = p.data();
     const real_t* __restrict rp = r.data();

@@ -1,7 +1,9 @@
 #include "gmg/solver.hpp"
 
+#include <array>
 #include <cmath>
 
+#include "check/footprint.hpp"
 #include "common/timer.hpp"
 #include "dsl/apply_brick.hpp"
 #include "dsl/stencils.hpp"
@@ -13,6 +15,24 @@
 
 namespace gmg {
 
+// Compile-time footprint verification (src/check): the stencil
+// expressions the solver instantiates must have exactly the shapes the
+// ghost sizing below assumes. A stencil edit that widens a footprint
+// fails here, not as a silent out-of-ghost read.
+static_assert(check::same_footprint(
+                  dsl::laplacian_7pt<0>(1.0, 1.0).offsets(),
+                  check::star_shape(1)),
+              "7-point Laplacian footprint is not the radius-1 star");
+static_assert(dsl::star_stencil<2, 0>(std::array<real_t, 3>{1.0, 1.0, 1.0})
+                      .offsets()
+                      .radius() == 2,
+              "13-point operator footprint is not radius 2");
+static_assert(check::restriction_shape().num_taps() == 8 &&
+                  check::restriction_shape().radius() == 1,
+              "restriction must read exactly the 2x2x2 fine block");
+static_assert(check::interpolation_trilinear_shape().num_taps() == 27,
+              "trilinear interpolation reads the 27-point coarse box");
+
 GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
                      int rank)
     : opts_(opts), rank_(rank) {
@@ -20,8 +40,34 @@ GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
   GMG_REQUIRE(opts_.smooths >= 1, "need at least one smoothing iteration");
   GMG_REQUIRE(opts_.operator_radius == 1 || opts_.operator_radius == 2,
               "operator radius must be 1 (7-point) or 2 (13-point)");
-  GMG_REQUIRE(opts_.operator_radius <= opts_.brick.bx,
-              "stencil radius exceeds the brick dimension");
+
+  // Footprint-vs-ghost-depth checks (src/check): the ghost region is
+  // one brick deep, so every stencil the cycle applies — operator,
+  // smoother consumption rate, inter-level transfers — must fit the
+  // brick shape. Undersized ghosts fail here at setup, on every level
+  // at once (the brick shape is level-invariant).
+  check::require_footprint_fits(
+      opts_.operator_radius == 1 ? "operator (7-point star)"
+                                 : "operator (13-point star)",
+      check::star_shape(opts_.operator_radius).extents(), opts_.brick);
+  check::require_footprint_fits("restriction (8->1 full weighting)",
+                                check::restriction_shape().extents(),
+                                opts_.brick);
+  check::require_footprint_fits(
+      "interpolation (trilinear)",
+      check::interpolation_trilinear_shape().extents(), opts_.brick);
+  // CA smoothing refills the ghost margin to one brick depth per
+  // exchange and consumes layers per sweep: the operator radius for
+  // Jacobi/Chebyshev, two for a red-black iteration (each colored
+  // half-sweep reads the other color at radius 1).
+  check::require_ghost_capacity(
+      opts_.smoother == Smoother::kRedBlackGS
+          ? "red-black Gauss-Seidel (2 ghost layers per iteration)"
+          : "smoother sweep",
+      opts_.brick,
+      opts_.smoother == Smoother::kRedBlackGS
+          ? index_t{2}
+          : static_cast<index_t>(opts_.operator_radius));
 
   const Vec3 sub0 = decomp.subdomain_extent();
   const Vec3 global0 = decomp.global_extent();

@@ -377,11 +377,11 @@ void start_periodic_flush(double interval_seconds) {
   f.running = true;
   f.thread = std::thread([interval_seconds, &f] {
     const auto interval = std::chrono::duration<double>(interval_seconds);
-    std::unique_lock<std::mutex> lock(f.mu);
-    while (!f.cv.wait_for(lock, interval, [&] { return f.stop; })) {
-      lock.unlock();
+    std::unique_lock<std::mutex> worker_lock(f.mu);
+    while (!f.cv.wait_for(worker_lock, interval, [&] { return f.stop; })) {
+      worker_lock.unlock();
       flush_now();
-      lock.lock();
+      worker_lock.lock();
     }
   });
 }

@@ -1,0 +1,162 @@
+// Footprint-trait coverage (src/check layer 1): every stencil shipped
+// in dsl/stencils.hpp and every stencilgen-emitted kernel must expose
+// exactly the tap set its name promises, verified against the
+// reference shapes in check/footprint.hpp — mostly at compile time.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "check/footprint.hpp"
+#include "common/error.hpp"
+#include "dsl/generated/laplacian_7pt_gen.hpp"
+#include "dsl/generated/star_13pt_gen.hpp"
+#include "dsl/stencils.hpp"
+
+namespace gmg {
+namespace {
+
+using dsl::i;
+using dsl::j;
+using dsl::k;
+
+// ---- compile-time assertions: these are the product; the TEST
+// bodies below just re-state them where a runtime reporter helps.
+
+// DSL stencils vs reference shapes.
+static_assert(check::same_footprint(dsl::laplacian_7pt<0>(1.0, 2.0).offsets(),
+                                    check::star_shape(1)));
+static_assert(check::same_footprint(
+    dsl::box_27pt<0>(1.0, 2.0, 3.0, 4.0).offsets(), check::box_shape(1)));
+static_assert(check::same_footprint(
+    dsl::star_stencil<1, 0>(std::array<real_t, 2>{1.0, 2.0}).offsets(),
+    check::star_shape(1)));
+static_assert(check::same_footprint(
+    dsl::star_stencil<2, 0>(std::array<real_t, 3>{1.0, 2.0, 3.0}).offsets(),
+    check::star_shape(2)));
+static_assert(check::same_footprint(
+    dsl::star_stencil<3, 0>(std::array<real_t, 4>{1.0, 2.0, 3.0, 4.0})
+        .offsets(),
+    check::star_shape(3)));
+static_assert(check::same_footprint(
+    dsl::star_stencil<4, 0>(std::array<real_t, 5>{1.0, 2.0, 3.0, 4.0, 5.0})
+        .offsets(),
+    check::star_shape(4)));
+
+// stencilgen-emitted kernels: the emitted *_footprint() functions are
+// constexpr, so a spec edit that changes a kernel's shape breaks the
+// build here.
+static_assert(check::same_footprint(dsl::generated::laplacian_7pt_footprint(),
+                                    check::star_shape(1)));
+static_assert(check::same_footprint(dsl::generated::star_13pt_footprint(),
+                                    check::star_shape(2)));
+
+// Reference-shape arithmetic.
+static_assert(check::star_shape(1).num_taps() == 7);
+static_assert(check::star_shape(2).num_taps() == 13);
+static_assert(check::star_shape(4).num_taps() == 25);
+static_assert(check::box_shape(1).num_taps() == 27);
+static_assert(check::restriction_shape().num_taps() == 8);
+static_assert(check::interpolation_pc_shape().num_taps() == 1);
+static_assert(check::interpolation_trilinear_shape().num_taps() == 27);
+static_assert(check::star_shape(3).radius() == 3);
+static_assert(check::box_shape(1).radius() == 1);
+// Restriction reads only forward: offsets {0,1}^3, never negative.
+static_assert(check::restriction_shape().extents().lo[0] == 0 &&
+              check::restriction_shape().extents().hi[0] == 1);
+
+// Fit checks, both polarities.
+static_assert(check::footprint_fits(check::star_shape(2).extents(), 2, 2, 2));
+static_assert(!check::footprint_fits(check::star_shape(3).extents(), 2, 2, 2));
+static_assert(!check::footprint_fits(
+    dsl::star_stencil<4, 0>(std::array<real_t, 5>{1, 1, 1, 1, 1})
+        .offsets()
+        .extents(),
+    2, 2, 2));
+
+TEST(Footprint, LaplacianIsSevenPointStar) {
+  constexpr auto offs = dsl::laplacian_7pt<0>(-6.0, 1.0).offsets();
+  EXPECT_EQ(offs.num_taps(), 7);
+  EXPECT_EQ(offs.radius(), 1);
+  EXPECT_TRUE(offs.contains(0, 0, 0, 0));
+  EXPECT_TRUE(offs.contains(0, 1, 0, 0));
+  EXPECT_TRUE(offs.contains(0, -1, 0, 0));
+  EXPECT_TRUE(offs.contains(0, 0, 0, -1));
+  EXPECT_FALSE(offs.contains(0, 1, 1, 0));  // no edge taps in a star
+}
+
+TEST(Footprint, OffsetsDeduplicateRepeatedTaps) {
+  dsl::Grid<0> x;
+  constexpr auto expr = x(i, j, k) + x(i, j, k) + x(i + 1, j, k);
+  static_assert(expr.offsets().num_taps() == 2);
+  EXPECT_EQ(expr.offsets().num_taps(), 2);
+}
+
+TEST(Footprint, ExtentsAreAsymmetricWhenTapsAre) {
+  dsl::Grid<0> x;
+  constexpr auto expr = x(i + 2, j, k) - x(i, j - 1, k);
+  constexpr dsl::Extents e = expr.offsets().extents();
+  static_assert(e.lo[0] == 0 && e.hi[0] == 2);
+  static_assert(e.lo[1] == -1 && e.hi[1] == 0);
+  static_assert(e.lo[2] == 0 && e.hi[2] == 0);
+  EXPECT_EQ(expr.offsets().radius(), 2);
+}
+
+TEST(Footprint, NegAndMulPreserveFootprint) {
+  dsl::Grid<0> x;
+  constexpr auto expr = -(dsl::Coef(2.0) * x(i, j, k + 1));
+  static_assert(expr.offsets().num_taps() == 1);
+  static_assert(expr.offsets().contains(0, 0, 0, 1));
+  EXPECT_EQ(expr.offsets().radius(), 1);
+}
+
+TEST(Footprint, PerSlotExtentsOfVariableCoefficientOperator) {
+  // The varcoef flux operator reads the solution (slot 0) and the
+  // coefficient (slot 1) both at radius 1, with no diagonal taps.
+  dsl::Grid<0> X;
+  dsl::Grid<1> B;
+  constexpr auto expr =
+      (B(i, j, k) + B(i + 1, j, k)) * (X(i + 1, j, k) - X(i, j, k)) +
+      (B(i, j, k) + B(i, j, k - 1)) * (X(i, j, k - 1) - X(i, j, k));
+  static_assert(expr.offsets().max_slot() == 1);
+  constexpr dsl::Extents xe = expr.offsets().slot_extents(0);
+  constexpr dsl::Extents be = expr.offsets().slot_extents(1);
+  static_assert(xe.hi[0] == 1 && xe.lo[2] == -1);
+  static_assert(be.hi[0] == 1 && be.lo[2] == -1);
+  static_assert(be.lo[0] == 0);  // no B(i-1) tap in this fragment
+  EXPECT_EQ(expr.offsets().radius(), 1);
+}
+
+TEST(Footprint, SameTapsIsOrderIndependentAndSlotSensitive) {
+  dsl::Grid<0> a;
+  dsl::Grid<1> b;
+  constexpr auto fwd = a(i, j, k) + a(i + 1, j, k);
+  constexpr auto rev = a(i + 1, j, k) + a(i, j, k);
+  static_assert(check::same_footprint(fwd.offsets(), rev.offsets()));
+  constexpr auto other_slot = b(i, j, k) + b(i + 1, j, k);
+  static_assert(!check::same_footprint(fwd.offsets(), other_slot.offsets()));
+  EXPECT_TRUE(check::same_footprint(fwd.offsets(), rev.offsets()));
+}
+
+TEST(Footprint, RequireFootprintFitsThrowsWithDiagnostic) {
+  const auto ext = check::star_shape(3).extents();
+  EXPECT_NO_THROW(
+      check::require_footprint_fits("test", ext, BrickShape::cube(4)));
+  try {
+    check::require_footprint_fits("radius-3 star", ext, BrickShape::cube(2));
+    FAIL() << "undersized ghost depth was not rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("radius-3 star"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("2x2x2"), std::string::npos);
+  }
+}
+
+TEST(Footprint, RequireGhostCapacityRejectsOverdeepSweeps) {
+  EXPECT_NO_THROW(
+      check::require_ghost_capacity("jacobi", BrickShape::cube(4), 1));
+  EXPECT_NO_THROW(check::require_ghost_capacity("gs", BrickShape::cube(2), 2));
+  EXPECT_THROW(check::require_ghost_capacity("gs", BrickShape::cube(1), 2),
+               Error);
+}
+
+}  // namespace
+}  // namespace gmg

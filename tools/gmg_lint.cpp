@@ -1,0 +1,262 @@
+// gmg_lint — repo-invariant checker (layer 3 of src/check).
+//
+//   gmg_lint [repo-root]
+//
+// clang-tidy enforces general C++ hygiene (.clang-tidy at the repo
+// root); this tool enforces the handful of invariants that are
+// specific to this codebase and that no generic checker knows about:
+//
+//   1. No raw `#pragma omp parallel` in src/gmg, src/dsl or src/brick
+//      (`omp simd` is fine): all parallelism must go through the
+//      exec:: runtime so chunk plans stay deterministic and the
+//      src/check hazard tracker sees every launch. The two sanctioned
+//      exceptions (the runtime's own legacy OpenMP path and the
+//      baseline reference operators) live outside those directories.
+//   2. No std::fma / __builtin_fma anywhere in src/: the reproduction
+//      builds with -ffp-contract=off so that redundantly-computed
+//      ghost cells (communication-avoiding sweeps) are bitwise equal
+//      to the owning rank's interior values; a hand-written fma
+//      reintroduces exactly the contraction the flag disables.
+//   3. No nondeterminism sources (std::random_device, rand, srand,
+//      high_resolution_clock) outside src/common/rng.hpp and the
+//      trace/perf clock wrappers: kernels and solvers must be bitwise
+//      reproducible run-to-run.
+//   4. The top-level CMakeLists.txt must keep -ffp-contract=off.
+//
+// Exit status 0 = clean, 1 = violations (printed one per line,
+// `file:line: message`), 2 = usage/IO error.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;
+  int line;
+  std::string message;
+};
+
+std::vector<Violation> g_violations;
+
+void report(const fs::path& file, int line, const std::string& message) {
+  g_violations.push_back(Violation{file.string(), line, message});
+}
+
+bool has_extension(const fs::path& p, std::initializer_list<const char*> exts) {
+  const std::string e = p.extension().string();
+  for (const char* x : exts) {
+    if (e == x) return true;
+  }
+  return false;
+}
+
+/// Strip // and /* */ comments and string literals so commented-out
+/// code and message text can't trip the patterns. Line structure is
+/// preserved (newlines survive) so reported line numbers stay right.
+std::string strip_comments_and_strings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar };
+  St st = St::kCode;
+  for (std::size_t n = 0; n < text.size(); ++n) {
+    const char c = text[n];
+    const char next = n + 1 < text.size() ? text[n + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          ++n;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          ++n;
+        } else if (c == '"') {
+          st = St::kString;
+          out.push_back(' ');
+        } else if (c == '\'') {
+          st = St::kChar;
+          out.push_back(' ');
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          st = St::kCode;
+          out.push_back('\n');
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          ++n;
+        } else if (c == '\n') {
+          out.push_back('\n');
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++n;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c == '\n') {
+          out.push_back('\n');
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++n;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c == '\n') {
+          out.push_back('\n');
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Whole-identifier match of `word` in `line` (so `rand` does not hit
+/// `operand` or `random_shuffle` does not hit a longer name we allow).
+bool contains_word(const std::string& line, const std::string& word) {
+  for (std::size_t pos = line.find(word); pos != std::string::npos;
+       pos = line.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+bool under(const fs::path& file, const fs::path& dir) {
+  const std::string f = file.lexically_normal().string();
+  const std::string d = (dir.lexically_normal() / "").string();
+  return f.compare(0, d.size(), d) == 0;
+}
+
+void check_source_file(const fs::path& root, const fs::path& file) {
+  std::ifstream in(file);
+  if (!in.good()) {
+    report(file, 0, "cannot read file");
+    return;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string code = strip_comments_and_strings(text);
+
+  const bool in_kernel_dirs = under(file, root / "src" / "gmg") ||
+                              under(file, root / "src" / "dsl") ||
+                              under(file, root / "src" / "brick") ||
+                              under(file, root / "src" / "check");
+  const bool in_rng = file.filename() == "rng.hpp" &&
+                      under(file, root / "src" / "common");
+  const bool in_clock_wrapper =
+      under(file, root / "src" / "trace") ||
+      under(file, root / "src" / "perf") ||
+      file.filename() == "timer.hpp" || file.filename() == "timer.cpp";
+
+  int lineno = 0;
+  std::istringstream ls(code);
+  std::string line;
+  while (std::getline(ls, line)) {
+    ++lineno;
+    // 1. Raw OpenMP parallelism in the deterministic-kernel dirs.
+    if (in_kernel_dirs && line.find("#pragma omp") != std::string::npos &&
+        line.find("omp simd") == std::string::npos) {
+      report(file, lineno,
+             "raw '#pragma omp' in a deterministic-kernel directory; route "
+             "parallelism through exec:: (only 'omp simd' is allowed here)");
+    }
+    // 2. Hand-written fused multiply-add defeats -ffp-contract=off.
+    if (contains_word(line, "fma") || contains_word(line, "fmaf") ||
+        line.find("__builtin_fma") != std::string::npos) {
+      report(file, lineno,
+             "explicit fma reintroduces the FP contraction that "
+             "-ffp-contract=off disables (breaks bitwise-reproducible "
+             "redundant ghost computation)");
+    }
+    // 3. Nondeterminism sources outside the sanctioned wrappers.
+    if (!in_rng && (contains_word(line, "random_device") ||
+                    contains_word(line, "rand") ||
+                    contains_word(line, "srand"))) {
+      report(file, lineno,
+             "nondeterministic RNG source; use common/rng.hpp (seeded, "
+             "reproducible) instead");
+    }
+    if (in_kernel_dirs && !in_clock_wrapper &&
+        contains_word(line, "high_resolution_clock")) {
+      report(file, lineno,
+             "clock read inside a kernel directory; timing belongs in "
+             "src/trace / src/perf");
+    }
+  }
+}
+
+bool check_fp_contract(const fs::path& root) {
+  std::ifstream in(root / "CMakeLists.txt");
+  if (!in.good()) {
+    report(root / "CMakeLists.txt", 0, "cannot read top-level CMakeLists.txt");
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (text.find("-ffp-contract=off") == std::string::npos) {
+    report(root / "CMakeLists.txt", 0,
+           "-ffp-contract=off is missing; redundant ghost computation is no "
+           "longer bitwise reproducible");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: gmg_lint [repo-root]\n");
+    return 2;
+  }
+  fs::path root = argc == 2 ? fs::path(argv[1]) : fs::current_path();
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec || !fs::exists(root / "src")) {
+    std::fprintf(stderr, "gmg_lint: '%s' is not the repo root (no src/)\n",
+                 argc == 2 ? argv[1] : ".");
+    return 2;
+  }
+
+  std::size_t files = 0;
+  for (fs::recursive_directory_iterator it(root / "src"), end; it != end;
+       ++it) {
+    if (!it->is_regular_file()) continue;
+    const fs::path& p = it->path();
+    if (!has_extension(p, {".hpp", ".cpp", ".h", ".cc"})) continue;
+    ++files;
+    check_source_file(root, p);
+  }
+  check_fp_contract(root);
+
+  for (const Violation& v : g_violations) {
+    std::fprintf(stderr, "%s:%d: %s\n", v.file.c_str(), v.line,
+                 v.message.c_str());
+  }
+  if (!g_violations.empty()) {
+    std::fprintf(stderr, "gmg_lint: %zu violation(s) in %zu files scanned\n",
+                 g_violations.size(), files);
+    return 1;
+  }
+  std::printf("gmg_lint: %zu files clean\n", files);
+  return 0;
+}
