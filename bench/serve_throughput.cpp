@@ -158,6 +158,7 @@ int main(int argc, char** argv) {
      << "  \"arena_reuse_ratio\": " << rep.arena.reuse_ratio() << ",\n"
      << "  \"latency_p50_seconds\": " << rep.latency_p50 << ",\n"
      << "  \"latency_p99_seconds\": " << rep.latency_p99 << ",\n"
+     << "  \"latency_p999_seconds\": " << rep.latency_p999 << ",\n"
      << "  \"clients\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const ClientPoint& p = points[i];

@@ -13,7 +13,9 @@
 #      split-phase exchange, and solve-service tests: the worker-pool
 #      handoffs of DESIGN.md §10–11 and the serve layer's executor
 #      pool / hierarchy cache / brick arena (§12) are exactly what a
-#      race detector must see scheduled live.
+#      race detector must see scheduled live. The socket front's wire
+#      and server tests (§14: poll loop x executor completion
+#      callbacks x client threads) ride in the same tree.
 #
 #   4. A static stage: the gmg_lint invariant checker, clang-tidy over
 #      src/ when the binary is available (the CI image may only carry
@@ -61,6 +63,12 @@ echo "== tier 1: solver suite, default workers =="
 echo "== tier 1: serve throughput smoke =="
 ./build/bench/serve_throughput
 
+# Front-tier smoke (DESIGN.md §14): start the socket listener, drive a
+# client round trip through the wire protocol, drain, and verify the
+# stats. One process, deterministic, a few seconds.
+echo "== tier 1: socket front smoke =="
+./build/tools/serve_front --smoke --shards 2
+
 SKIP_ASAN=0
 SKIP_TSAN=0
 for arg in "$@"; do
@@ -98,8 +106,10 @@ else
     -DGMG_ENABLE_EXAMPLES=OFF \
     -DGMG_NATIVE_ARCH=OFF >/dev/null
   cmake --build build-tsan -j"${JOBS}" \
-    --target test_exec test_parallel_for test_simmpi test_exchange test_serve
-  for t in test_exec test_parallel_for test_simmpi test_exchange test_serve; do
+    --target test_exec test_parallel_for test_simmpi test_exchange \
+             test_serve test_wire test_front
+  for t in test_exec test_parallel_for test_simmpi test_exchange \
+           test_serve test_wire test_front; do
     echo "-- ${t} (tsan)"
     "./build-tsan/tests/${t}"
   done

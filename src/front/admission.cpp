@@ -1,0 +1,85 @@
+#include "front/admission.hpp"
+
+#include <algorithm>
+
+#include "trace/trace.hpp"
+
+namespace gmg::front {
+
+double AdmissionController::estimate_cost(Vec3 global_extent, int levels) {
+  return static_cast<double>(global_extent.volume()) *
+         static_cast<double>(std::max(1, levels));
+}
+
+double AdmissionController::wait_estimate_locked() const {
+  if (cost_per_second_ <= 0) return 0;  // no observation yet
+  const double rate =
+      cost_per_second_ * static_cast<double>(std::max(1, cfg_.parallelism));
+  return inflight_cost_ / rate;
+}
+
+AdmissionController::Decision AdmissionController::try_admit(
+    double cost, double deadline_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ >= cfg_.max_inflight) {
+    ++shed_overload_;
+    trace::counter_add("front.shed_overload", 1);
+    return Decision::kShedOverload;
+  }
+  double cost_cap = cfg_.max_inflight_cost;
+  if (cost_cap <= 0) {
+    // Until configured, cap outstanding cost at max_inflight requests
+    // of the largest size seen — pure count-limiting for a uniform
+    // mix, but a burst of giants cannot stack behind small ones.
+    cost_cap = static_cast<double>(cfg_.max_inflight) *
+               std::max(max_cost_seen_, cost);
+  }
+  if (inflight_ > 0 && inflight_cost_ + cost > cost_cap) {
+    ++shed_overload_;
+    trace::counter_add("front.shed_overload", 1);
+    return Decision::kShedOverload;
+  }
+  if (cfg_.deadline_headroom > 0 && deadline_seconds > 0 &&
+      wait_estimate_locked() > cfg_.deadline_headroom * deadline_seconds) {
+    ++shed_deadline_;
+    trace::counter_add("front.shed_deadline", 1);
+    return Decision::kShedDeadline;
+  }
+  ++admitted_;
+  ++inflight_;
+  inflight_cost_ += cost;
+  max_cost_seen_ = std::max(max_cost_seen_, cost);
+  trace::counter_add("front.admitted", 1);
+  return Decision::kAdmit;
+}
+
+void AdmissionController::on_complete(double cost, double solve_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_ = inflight_ > 0 ? inflight_ - 1 : 0;
+  inflight_cost_ = std::max(0.0, inflight_cost_ - cost);
+  if (solve_seconds > 0) {
+    const double observed = cost / solve_seconds;
+    cost_per_second_ = cost_per_second_ <= 0
+                           ? observed
+                           : 0.8 * cost_per_second_ + 0.2 * observed;
+  }
+}
+
+double AdmissionController::estimated_wait_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wait_estimate_locked();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.admitted = admitted_;
+  s.shed_overload = shed_overload_;
+  s.shed_deadline = shed_deadline_;
+  s.inflight = inflight_;
+  s.inflight_cost = inflight_cost_;
+  s.cost_per_second = cost_per_second_;
+  return s;
+}
+
+}  // namespace gmg::front

@@ -1,0 +1,103 @@
+// Per-shard admission control with cost-aware load-shedding
+// (DESIGN.md §14).
+//
+// Request cost varies by orders of magnitude with domain shape (a
+// 128^3 x 5-level request is ~512x a 32^3 x 3-level one), so a
+// count-based limit either starves small requests or admits a queue
+// of huge ones that blows every deadline. The controller therefore
+// accounts in *estimated cycle cost* — global cells x levels, the
+// dominant term of a V-cycle's work — and sheds in O(1) before the
+// request ever touches the shard's solve queue:
+//
+//   * inflight caps: at most max_inflight admitted-but-unfinished
+//     requests AND at most max_inflight_cost outstanding cost;
+//   * deadline-aware: an EWMA of observed cost throughput converts
+//     outstanding cost into an estimated queue wait — a request whose
+//     deadline would already be blown by the backlog is rejected
+//     immediately (REJECTED_OVERLOAD) instead of expiring uselessly
+//     in the queue.
+//
+// Shedding fast is the point: under overload the listener answers
+// with a reject frame in microseconds, accepted requests keep their
+// latency, and goodput stays at capacity instead of collapsing under
+// queue bloat (bench/front_saturation measures exactly this).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/types.hpp"
+
+namespace gmg::front {
+
+struct AdmissionConfig {
+  /// Admitted-but-unfinished request cap (queued + executing). The
+  /// front sizes the shard's serve queue to match so an admitted
+  /// request never blocks the listener. Env: GMG_FRONT_MAX_INFLIGHT.
+  std::size_t max_inflight = 4;
+  /// Outstanding-cost cap in cost units (global cells x levels);
+  /// 0 = derived as max_inflight x the largest cost seen so far
+  /// (i.e. effectively count-limited until the mix is known).
+  double max_inflight_cost = 0;
+  /// Shed when estimated_wait > deadline_headroom x deadline. <= 0
+  /// disables deadline-aware shedding.
+  double deadline_headroom = 1.0;
+  /// Concurrent executors draining this shard; scales outstanding
+  /// cost into wait time.
+  int parallelism = 2;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg = {}) : cfg_(cfg) {}
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  enum class Decision {
+    kAdmit,
+    kShedOverload,  // inflight or cost cap hit
+    kShedDeadline,  // backlog already exceeds the request's deadline
+  };
+
+  /// O(1) under one mutex; never blocks. kAdmit charges `cost` until
+  /// the matching on_complete().
+  Decision try_admit(double cost, double deadline_seconds);
+
+  /// Release `cost`. `solve_seconds` > 0 (an actually-executed solve)
+  /// also updates the cost-throughput EWMA used for wait estimates.
+  void on_complete(double cost, double solve_seconds);
+
+  /// Estimated queue wait for a new request behind the current
+  /// backlog, seconds; 0 until a throughput estimate exists.
+  double estimated_wait_seconds() const;
+
+  struct Stats {
+    std::uint64_t admitted = 0;
+    std::uint64_t shed_overload = 0;
+    std::uint64_t shed_deadline = 0;
+    std::size_t inflight = 0;
+    double inflight_cost = 0;
+    /// EWMA cost units per executor-second (0 = not yet observed).
+    double cost_per_second = 0;
+  };
+  Stats stats() const;
+
+  const AdmissionConfig& config() const { return cfg_; }
+
+  /// The cost model: global cells x levels. Deliberately crude — it
+  /// only needs to rank requests and scale linearly with work.
+  static double estimate_cost(Vec3 global_extent, int levels);
+
+ private:
+  double wait_estimate_locked() const;
+
+  AdmissionConfig cfg_;
+  mutable std::mutex mu_;
+  std::size_t inflight_ = 0;
+  double inflight_cost_ = 0;
+  double max_cost_seen_ = 0;
+  double cost_per_second_ = 0;  // EWMA, per executor
+  std::uint64_t admitted_ = 0, shed_overload_ = 0, shed_deadline_ = 0;
+};
+
+}  // namespace gmg::front

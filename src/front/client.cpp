@@ -1,0 +1,185 @@
+#include "front/client.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace gmg::front {
+
+FrontClient::~FrontClient() { close(); }
+
+void FrontClient::connect_unix(const std::string& path) {
+  GMG_REQUIRE(fd_ < 0, "FrontClient: already connected");
+  sockaddr_un addr{};
+  GMG_REQUIRE(path.size() < sizeof(addr.sun_path),
+              "FrontClient: unix socket path too long");
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  GMG_REQUIRE(fd >= 0, "FrontClient: socket(AF_UNIX) failed");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    GMG_REQUIRE(false, "FrontClient: connect(unix) failed");
+  }
+  fd_ = fd;
+}
+
+void FrontClient::connect_tcp(std::uint16_t port) {
+  GMG_REQUIRE(fd_ < 0, "FrontClient: already connected");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  GMG_REQUIRE(fd >= 0, "FrontClient: socket(AF_INET) failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    GMG_REQUIRE(false, "FrontClient: connect(tcp) failed");
+  }
+  fd_ = fd;
+}
+
+void FrontClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FrontClient::send_frame(const std::vector<std::uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  GMG_REQUIRE(fd_ >= 0, "FrontClient: not connected");
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      GMG_REQUIRE(false, "FrontClient: send failed (connection lost)");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void FrontClient::send_submit(const wire::SubmitFrame& f) {
+  send_frame(wire::encode_submit(f));
+}
+
+bool FrontClient::read_frame(wire::Frame* out, int timeout_ms) {
+  for (;;) {
+    if (reader_.next(out)) return true;
+    if (reader_.corrupt()) {
+      last_error_ = "corrupt stream: " + reader_.error();
+      return false;
+    }
+    if (fd_ < 0) {
+      last_error_ = "not connected";
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = "poll failed";
+      return false;
+    }
+    if (ready == 0) {
+      last_error_ = "timeout";
+      return false;
+    }
+    std::uint8_t buf[16384];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      last_error_ = "connection closed by server";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = "recv failed";
+      return false;
+    }
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool FrontClient::read_response(Response* out, int timeout_ms) {
+  wire::Frame frame;
+  for (;;) {
+    if (!read_frame(&frame, timeout_ms)) return false;
+    std::string err;
+    if (frame.type == wire::FrameType::kResult) {
+      if (!wire::decode_result(frame.payload, &out->result, &err)) {
+        last_error_ = "bad result frame: " + err;
+        return false;
+      }
+      out->rejected = false;
+      out->request_id = out->result.request_id;
+      return true;
+    }
+    if (frame.type == wire::FrameType::kReject) {
+      if (!wire::decode_reject(frame.payload, &out->reject, &err)) {
+        last_error_ = "bad reject frame: " + err;
+        return false;
+      }
+      out->rejected = true;
+      out->request_id = out->reject.request_id;
+      return true;
+    }
+    // kPong / kStats interleaved with a pending submit: skip.
+  }
+}
+
+FrontClient::Response FrontClient::submit_and_wait(const wire::SubmitFrame& f,
+                                                   int timeout_ms) {
+  send_submit(f);
+  Response r;
+  GMG_REQUIRE(read_response(&r, timeout_ms),
+              "FrontClient: no response to submit: " + last_error_);
+  return r;
+}
+
+bool FrontClient::ping(std::uint64_t nonce, int timeout_ms) {
+  send_frame(wire::encode_ping(nonce));
+  wire::Frame frame;
+  if (!read_frame(&frame, timeout_ms)) return false;
+  if (frame.type != wire::FrameType::kPong) {
+    last_error_ = "expected pong";
+    return false;
+  }
+  std::uint64_t echoed = 0;
+  std::string err;
+  if (!wire::decode_nonce(frame.payload, &echoed, &err)) {
+    last_error_ = "bad pong: " + err;
+    return false;
+  }
+  if (echoed != nonce) {
+    last_error_ = "pong nonce mismatch";
+    return false;
+  }
+  return true;
+}
+
+bool FrontClient::fetch_stats(wire::StatsFrame* out, int timeout_ms) {
+  send_frame(wire::encode_stats_request());
+  wire::Frame frame;
+  if (!read_frame(&frame, timeout_ms)) return false;
+  if (frame.type != wire::FrameType::kStats) {
+    last_error_ = "expected stats frame";
+    return false;
+  }
+  std::string err;
+  if (!wire::decode_stats(frame.payload, out, &err)) {
+    last_error_ = "bad stats frame: " + err;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gmg::front

@@ -1,0 +1,68 @@
+// FrontClient: a blocking-socket client for the front wire protocol.
+//
+// One connection, two independently usable halves: send_* (guarded by
+// a send mutex) and read_* (single reader). The saturation bench runs
+// them from different threads — an open-loop sender thread and a
+// response-reader thread — while tests use the synchronous
+// submit_and_wait()/ping()/fetch_stats() convenience calls on an
+// otherwise idle connection.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "front/wire.hpp"
+
+namespace gmg::front {
+
+class FrontClient {
+ public:
+  FrontClient() = default;
+  ~FrontClient();  // close()
+  FrontClient(const FrontClient&) = delete;
+  FrontClient& operator=(const FrontClient&) = delete;
+
+  void connect_unix(const std::string& path);
+  void connect_tcp(std::uint16_t port);  // 127.0.0.1:port
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one encoded frame (thread-safe: senders serialize on an
+  /// internal mutex; a frame is always written contiguously).
+  void send_frame(const std::vector<std::uint8_t>& bytes);
+  void send_submit(const wire::SubmitFrame& f);
+
+  /// Block until a complete frame arrives. false on EOF, a corrupt
+  /// stream, or timeout (timeout_ms < 0 = wait forever). Single
+  /// reader only.
+  bool read_frame(wire::Frame* out, int timeout_ms = -1);
+
+  /// One decoded server response to a submit.
+  struct Response {
+    std::uint64_t request_id = 0;
+    bool rejected = false;
+    wire::ResultFrame result;  // valid when !rejected
+    wire::RejectFrame reject;  // valid when rejected
+  };
+
+  /// Read frames until a kResult/kReject arrives (other frame types
+  /// are skipped). false on EOF/corrupt/timeout.
+  bool read_response(Response* out, int timeout_ms = -1);
+
+  // Synchronous conveniences — idle connection only (they assume the
+  // next response frame answers this call).
+  Response submit_and_wait(const wire::SubmitFrame& f, int timeout_ms = -1);
+  bool ping(std::uint64_t nonce, int timeout_ms = -1);
+  bool fetch_stats(wire::StatsFrame* out, int timeout_ms = -1);
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  int fd_ = -1;
+  std::mutex send_mu_;
+  wire::FrameReader reader_;
+  std::string last_error_;
+};
+
+}  // namespace gmg::front

@@ -1,0 +1,63 @@
+#include "front/shard_router.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gmg::front {
+
+std::uint64_t ShardRouter::hash64(std::string_view s) {
+  // FNV-1a, 64-bit. Chosen for bit-exact portability, not speed: the
+  // router hashes one short key string per request.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ShardRouter::ShardRouter(int shards, int vnodes_per_shard) {
+  GMG_REQUIRE(shards > 0, "ShardRouter: need at least one shard");
+  std::vector<int> ids(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) ids[static_cast<std::size_t>(s)] = s;
+  build(ids, vnodes_per_shard);
+}
+
+ShardRouter::ShardRouter(const std::vector<int>& shard_ids,
+                         int vnodes_per_shard) {
+  build(shard_ids, vnodes_per_shard);
+}
+
+void ShardRouter::build(const std::vector<int>& shard_ids,
+                        int vnodes_per_shard) {
+  GMG_REQUIRE(!shard_ids.empty(), "ShardRouter: need at least one shard");
+  GMG_REQUIRE(vnodes_per_shard > 0, "ShardRouter: need at least one vnode");
+  num_shards_ = static_cast<int>(shard_ids.size());
+  ring_.reserve(shard_ids.size() *
+                static_cast<std::size_t>(vnodes_per_shard));
+  for (const int id : shard_ids) {
+    for (int v = 0; v < vnodes_per_shard; ++v) {
+      // A fixed naming scheme makes each shard's points a function of
+      // (shard id, vnode index) only — adding or removing a shard
+      // never moves another shard's points.
+      const std::string label =
+          "shard-" + std::to_string(id) + "#" + std::to_string(v);
+      ring_.emplace_back(hash64(label), id);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int ShardRouter::route(std::string_view key) const {
+  const std::uint64_t h = hash64(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, int>& p, std::uint64_t v) {
+        return p.first < v;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+}  // namespace gmg::front

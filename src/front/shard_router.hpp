@@ -1,0 +1,53 @@
+// Consistent-hash routing of hierarchy keys onto serve shards
+// (DESIGN.md §14).
+//
+// Each shard owns `vnodes_per_shard` points on a 64-bit hash ring; a
+// key routes to the shard owning the first point at or after the
+// key's hash (wrapping). Two properties the front tier depends on:
+//
+//   * Stability: the ring is built from FNV-1a over fixed strings, so
+//     the same key maps to the same shard in every process on every
+//     run — a client can even predict placement. Cache affinity
+//     (HierarchyCache entries live per shard) survives restarts.
+//   * Minimal disruption: removing one of N shards deletes only that
+//     shard's points, so only the keys in the deleted arcs move
+//     (~1/N of them), to the next point on the ring. All other keys
+//     keep their shard and therefore their warm hierarchy caches.
+//     test_front pins both properties.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gmg::front {
+
+class ShardRouter {
+ public:
+  /// Ring over shard ids 0..shards-1.
+  explicit ShardRouter(int shards, int vnodes_per_shard = 64);
+
+  /// Ring over an explicit shard-id set: the ring for {0..N-1} minus
+  /// shard s is exactly the full ring with s's points deleted, which
+  /// is what makes removal minimally disruptive.
+  ShardRouter(const std::vector<int>& shard_ids, int vnodes_per_shard = 64);
+
+  /// Shard owning `key` (a serve::hierarchy_key string).
+  int route(std::string_view key) const;
+
+  int num_shards() const { return num_shards_; }
+
+  /// FNV-1a; deterministic across runs and platforms by construction.
+  static std::uint64_t hash64(std::string_view s);
+
+ private:
+  void build(const std::vector<int>& shard_ids, int vnodes_per_shard);
+
+  int num_shards_ = 0;
+  /// (ring point, shard id), sorted by point.
+  std::vector<std::pair<std::uint64_t, int>> ring_;
+};
+
+}  // namespace gmg::front

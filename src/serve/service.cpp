@@ -113,21 +113,18 @@ void SolveService::register_operator(const std::string& id,
   operators_[id] = spec;
 }
 
-namespace {
-
-std::string hierarchy_cache_key(const SolveRequest& req,
-                                const OperatorSpec& spec) {
+std::string hierarchy_key(const DomainSpec& domain,
+                          const std::string& operator_id,
+                          const GmgOptions& options) {
   std::ostringstream os;
-  const Vec3 g = req.domain.global_extent;
-  const Vec3 r = req.domain.rank_grid;
-  const BrickShape b = spec.options.brick;
+  const Vec3 g = domain.global_extent;
+  const Vec3 r = domain.rank_grid;
+  const BrickShape b = options.brick;
   os << g.x << 'x' << g.y << 'x' << g.z << '/' << r.x << 'x' << r.y << 'x'
      << r.z << "/b" << b.bx << 'x' << b.by << 'x' << b.bz << "/l"
-     << spec.options.levels << '/' << req.operator_id;
+     << options.levels << '/' << operator_id;
   return os.str();
 }
-
-}  // namespace
 
 SolveFuture SolveService::submit(SolveRequest req) {
   return enqueue(std::move(req), /*block=*/true);
@@ -152,10 +149,12 @@ SolveFuture SolveService::enqueue(SolveRequest req, bool block) {
     ++submitted_;
     if (block) {
       space_cv_.wait(lock, [&] {
-        return stopping_ || queue_.size() < config_.queue_capacity;
+        return stopping_ || draining_ ||
+               queue_.size() < config_.queue_capacity;
       });
     }
-    if (stopping_ || queue_.size() >= config_.queue_capacity) {
+    if (stopping_ || draining_ ||
+        queue_.size() >= config_.queue_capacity) {
       ++rejected_;
       lock.unlock();
       trace::counter_add("serve.rejected", 1);
@@ -163,10 +162,14 @@ SolveFuture SolveService::enqueue(SolveRequest req, bool block) {
       return SolveFuture(std::move(rs));
     }
     rs->seq = next_seq_++;
+    ++accepted_;
+    ++inflight_;
     queue_.push_back(rs);
     std::push_heap(queue_.begin(), queue_.end(), detail::heap_less);
     queue_high_water_ = std::max(queue_high_water_, queue_.size());
   }
+  trace::counter_add("serve.accepted", 1);
+  trace::counter_add("serve.enqueued", 1);
   queue_cv_.notify_one();
   return SolveFuture(std::move(rs));
 }
@@ -182,6 +185,7 @@ void SolveService::executor_loop() {
       rs = std::move(queue_.back());
       queue_.pop_back();
     }
+    trace::counter_add("serve.dequeued", 1);
     space_cv_.notify_one();
     execute(rs);
   }
@@ -217,7 +221,8 @@ void SolveService::execute(const std::shared_ptr<detail::RequestState>& rs) {
     return;
   }
 
-  const std::string key = hierarchy_cache_key(rs->req, spec);
+  const std::string key =
+      hierarchy_key(rs->req.domain, rs->req.operator_id, spec.options);
   const int nranks = rs->req.domain.ranks();
 
   std::unique_ptr<CachedHierarchy> entry;
@@ -225,6 +230,7 @@ void SolveService::execute(const std::shared_ptr<detail::RequestState>& rs) {
     entry = cache_.acquire(key);
     rs->result.cache_hit = entry != nullptr;
     if (!entry) {
+      trace::counter_add("serve.cache_misses", 1);
       trace::TraceSpan setup_span("serve.setup");
       const CartDecomp decomp(rs->req.domain.global_extent,
                               rs->req.domain.rank_grid);
@@ -296,27 +302,36 @@ void SolveService::complete(const std::shared_ptr<detail::RequestState>& rs,
                             RequestStatus status) {
   rs->result.total_seconds =
       static_cast<double>(trace::now_ns() - rs->submit_ns) * 1e-9;
+  bool drained = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     switch (status) {
       case RequestStatus::kDone:
         ++completed_;
         latency_samples_.push_back(rs->result.total_seconds);
+        trace::counter_add("serve.completed", 1);
         break;
       case RequestStatus::kCancelled:
         ++cancelled_;
+        trace::counter_add("serve.cancelled", 1);
         break;
       case RequestStatus::kExpired:
         ++expired_;
+        trace::counter_add("serve.expired", 1);
         break;
       case RequestStatus::kFailed:
         ++failed_;
+        trace::counter_add("serve.failed", 1);
         break;
       case RequestStatus::kRejected:
-        // counted at enqueue, under mu_
+        // counted at enqueue, under mu_; never admitted
         break;
       default:
         break;
+    }
+    if (status != RequestStatus::kRejected) {
+      --inflight_;
+      drained = draining_ && queue_.empty() && inflight_ == 0;
     }
   }
   {
@@ -325,6 +340,15 @@ void SolveService::complete(const std::shared_ptr<detail::RequestState>& rs,
     rs->done = true;
   }
   rs->cv.notify_all();
+  if (drained) drained_cv_.notify_all();
+  if (rs->req.on_complete) rs->req.on_complete(rs->result);
+}
+
+void SolveService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  space_cv_.notify_all();  // blocked submitters wake and get kRejected
+  drained_cv_.wait(lock, [&] { return queue_.empty() && inflight_ == 0; });
 }
 
 void SolveService::shutdown() {
@@ -375,8 +399,27 @@ ServiceReport SolveService::report() const {
   std::sort(samples.begin(), samples.end());
   rep.latency_p50 = percentile(samples, 0.50);
   rep.latency_p99 = percentile(samples, 0.99);
+  rep.latency_p999 = percentile(samples, 0.999);
   rep.latency_max = samples.empty() ? 0 : samples.back();
   return rep;
+}
+
+ServiceStats SolveService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.accepted = accepted_;
+    s.completed = completed_;
+    s.cancelled = cancelled_;
+    s.expired = expired_;
+    s.rejected = rejected_;
+    s.failed = failed_;
+    s.queue_depth = queue_.size();
+    s.inflight = inflight_;
+  }
+  s.cache_hit_ratio = cache_.stats().hit_ratio();
+  return s;
 }
 
 std::string ServiceReport::to_string() const {
@@ -392,7 +435,7 @@ std::string ServiceReport::to_string() const {
      << " reuse=" << arena.reuse_ratio()
      << " pooled_bytes=" << arena.pooled_bytes << "\n"
      << "latency: p50=" << latency_p50 << "s p99=" << latency_p99
-     << "s max=" << latency_max << "s\n";
+     << "s p999=" << latency_p999 << "s max=" << latency_max << "s\n";
   return os.str();
 }
 

@@ -53,6 +53,8 @@ struct OperatorSpec {
   std::function<real_t(real_t, real_t, real_t)> coefficient;
 };
 
+struct RequestResult;
+
 struct SolveRequest {
   DomainSpec domain;
   std::string operator_id = "poisson";
@@ -68,6 +70,11 @@ struct SolveRequest {
   /// Copy the finest-level solution into the result (rank-major, each
   /// rank's interior in for_each order).
   bool return_solution = true;
+  /// Invoked exactly once, after the future is ready, on whichever
+  /// thread completed the request (an executor; the submitting thread
+  /// for immediate rejections). The socket front uses this to write
+  /// the response frame without parking a thread per request.
+  std::function<void(const RequestResult&)> on_complete;
 };
 
 enum class RequestStatus {
@@ -135,6 +142,28 @@ struct ServeConfig {
   double trace_flush_seconds = 0;
 };
 
+/// Live admission-level counters, cheap enough to sample per request
+/// (one mutex, no latency sort). The front tier's load-shedder reads
+/// these at frame-decode frequency; report() is the human-facing
+/// superset. All counters are also exported as trace counters
+/// (serve.accepted, serve.rejected, serve.cancelled, serve.expired,
+/// serve.completed, serve.failed, serve.cache_hits,
+/// serve.cache_misses; queue depth is the difference of the monotonic
+/// serve.enqueued/serve.dequeued pair).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;  // admitted into the queue
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t expired = 0;  // deadline passed before/during the solve
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+  std::size_t queue_depth = 0;
+  /// Admitted but not yet complete (queued + executing).
+  std::size_t inflight = 0;
+  double cache_hit_ratio = 0;
+};
+
 /// Point-in-time service metrics (report()).
 struct ServiceReport {
   std::uint64_t submitted = 0;
@@ -151,10 +180,18 @@ struct ServiceReport {
   /// requests, seconds. Nearest-rank percentiles.
   double latency_p50 = 0;
   double latency_p99 = 0;
+  double latency_p999 = 0;
   double latency_max = 0;
 
   std::string to_string() const;
 };
+
+/// The hierarchy-cache key for (domain, operator): everything that
+/// determines setup. The front tier routes on this same string so
+/// consistent-hash sharding preserves cache affinity (DESIGN.md §14).
+std::string hierarchy_key(const DomainSpec& domain,
+                          const std::string& operator_id,
+                          const GmgOptions& options);
 
 class SolveService {
  public:
@@ -177,11 +214,21 @@ class SolveService {
   /// (future completes with kRejected).
   SolveFuture try_submit(SolveRequest req);
 
+  /// Graceful drain: stop admitting (submit() completes kRejected and
+  /// any submitter blocked on backpressure wakes with that rejection
+  /// instead of deadlocking), then block until everything already
+  /// admitted — queued or executing — has completed. Executors stay
+  /// alive; report()/stats() remain valid. Idempotent.
+  void drain();
+
   /// Stop admitting, finish everything queued, join the executors.
   /// Idempotent; the destructor calls it.
   void shutdown();
 
   ServiceReport report() const;
+
+  /// Cheap live counters (no latency percentile sort).
+  ServiceStats stats() const;
 
   BrickArena& arena() { return arena_; }
   const ServeConfig& config() const { return config_; }
@@ -203,12 +250,15 @@ class SolveService {
   std::vector<std::shared_ptr<detail::RequestState>> queue_;  // max-heap
   std::map<std::string, OperatorSpec> operators_;
   bool stopping_ = false;
+  bool draining_ = false;  // admission closed; executors keep running
+  std::condition_variable drained_cv_;  // drain(): queue empty, none inflight
   std::uint64_t next_seq_ = 0;
   bool flush_started_ = false;
 
   // Metrics (guarded by mu_).
-  std::uint64_t submitted_ = 0, completed_ = 0, cancelled_ = 0, expired_ = 0,
-                rejected_ = 0, failed_ = 0;
+  std::uint64_t submitted_ = 0, accepted_ = 0, completed_ = 0, cancelled_ = 0,
+                expired_ = 0, rejected_ = 0, failed_ = 0;
+  std::size_t inflight_ = 0;  // admitted, not yet complete
   std::size_t queue_high_water_ = 0;
   std::vector<double> latency_samples_;
 
