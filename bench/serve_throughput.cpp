@@ -53,6 +53,103 @@ struct ClientPoint {
   double req_per_s = 0;
 };
 
+/// One point of the coalescer sweep: the same offered load (8 clients,
+/// fixed request count) served with the operator's max_batch at K.
+struct BatchPoint {
+  int max_batch = 0;
+  int requests = 0;
+  double seconds = 0;
+  double req_per_s = 0;
+  std::uint64_t batch_solves = 0;
+  std::uint64_t batch_requests = 0;
+  double occupancy = 0;
+};
+
+/// Coalescing pays where fixed per-request costs (world spin-up,
+/// per-sweep exchange/dispatch machinery) dominate the arithmetic, so
+/// the sweep runs a small domain; K requests then ride one V-cycle
+/// schedule instead of K.
+BatchPoint run_batch_point(int max_batch) {
+  // Tiny requests, deep hierarchy, small bricks: per-sweep fixed costs
+  // (exchange rounds, kernel dispatch) dwarf the arithmetic — the
+  // regime coalescing targets.
+  GmgOptions o;
+  o.levels = 3;
+  o.smooths = 6;
+  o.bottom_smooths = 30;
+  o.tolerance = 1e-8;
+  o.max_vcycles = 40;
+  o.brick = BrickShape::cube(2);
+  o.max_batch = max_batch;
+
+  ServeConfig cfg;
+  cfg.executors = 1;
+  cfg.queue_capacity = 64;
+  // Closed-loop clients resubmit the moment a batch retires, so the
+  // whole burst lands within a fraction of a millisecond; a long hold
+  // would only add idle time to every batch.
+  cfg.max_batch_hold_seconds = 0.0005;
+  SolveService service(cfg);
+  service.register_operator("poisson", o);
+
+  SolveRequest req;
+  req.domain.global_extent = {8, 8, 8};
+  req.rhs = sine_rhs;
+  req.tolerance = 1e-8;
+  req.max_vcycles = 40;
+  req.return_solution = false;
+
+  // Warm the hierarchy cache; the sweep measures steady-state serving.
+  const RequestResult warm = service.submit(req).get();
+  if (warm.status != RequestStatus::kDone) {
+    std::cerr << "batch warm-up failed: " << status_name(warm.status) << "\n";
+    std::exit(1);
+  }
+  // Warm the K-wide batched solver too (built lazily on the first
+  // coalesced batch): one untimed burst of max_batch requests.
+  if (max_batch > 1) {
+    std::vector<std::thread> warmers;
+    warmers.reserve(static_cast<std::size_t>(max_batch));
+    for (int c = 0; c < max_batch; ++c) {
+      warmers.emplace_back([&] { service.submit(req).wait(); });
+    }
+    for (auto& th : warmers) th.join();
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 24;
+  BatchPoint p;
+  p.max_batch = max_batch;
+  p.requests = kClients * kPerClient;
+  // Best of two passes: the service is in steady state, so the runs
+  // differ only by scheduler noise.
+  p.seconds = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    Timer t;
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kClients);
+      for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&] {
+          for (int i = 0; i < kPerClient; ++i) service.submit(req).wait();
+        });
+      }
+      for (auto& th : threads) th.join();
+    }
+    const double s = t.elapsed();
+    if (p.seconds == 0 || s < p.seconds) p.seconds = s;
+  }
+  p.req_per_s = static_cast<double>(p.requests) / p.seconds;
+  const ServiceStats stats = service.stats();
+  p.batch_solves = stats.batch_solves;
+  p.batch_requests = stats.batch_requests;
+  p.occupancy = stats.batch_solves
+                    ? static_cast<double>(stats.batch_requests) /
+                          static_cast<double>(stats.batch_solves)
+                    : 0.0;
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -143,6 +240,27 @@ int main(int argc, char** argv) {
   tput.print();
   tput.write_csv("bench/out/serve_throughput.csv");
 
+  bench::section(
+      "Batch coalescing — 8 clients, 8^3 Poisson, max_batch sweep");
+  std::vector<BatchPoint> batch_points;
+  for (int k : {1, 2, 4, 8}) batch_points.push_back(run_batch_point(k));
+
+  Table bt({"max_batch", "requests", "wall_s", "req/s", "batches",
+            "occupancy", "speedup"});
+  const double base_rps = batch_points.front().req_per_s;
+  for (const BatchPoint& p : batch_points) {
+    bt.row()
+        .cell(static_cast<long>(p.max_batch))
+        .cell(static_cast<long>(p.requests))
+        .cell(p.seconds, 3)
+        .cell(p.req_per_s, 2)
+        .cell(static_cast<long>(p.batch_solves))
+        .cell(p.occupancy, 2)
+        .cell(p.req_per_s / base_rps, 2);
+  }
+  bt.print();
+  bt.write_csv("bench/out/serve_batch_sweep.csv");
+
   const ServiceReport rep = service.report();
   std::cout << rep.to_string();
 
@@ -166,6 +284,19 @@ int main(int argc, char** argv) {
        << p.requests << ", \"seconds\": " << p.seconds
        << ", \"req_per_s\": " << p.req_per_s << "}"
        << (i + 1 < points.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"batch_sweep_n\": 8,\n  \"batch_sweep_clients\": 8,\n"
+     << "  \"batch\": [\n";
+  for (std::size_t i = 0; i < batch_points.size(); ++i) {
+    const BatchPoint& p = batch_points[i];
+    os << "    {\"max_batch\": " << p.max_batch
+       << ", \"requests\": " << p.requests << ", \"seconds\": " << p.seconds
+       << ", \"req_per_s\": " << p.req_per_s
+       << ", \"batch_solves\": " << p.batch_solves
+       << ", \"batch_requests\": " << p.batch_requests
+       << ", \"occupancy\": " << p.occupancy
+       << ", \"speedup_vs_unbatched\": " << p.req_per_s / base_rps << "}"
+       << (i + 1 < batch_points.size() ? ",\n" : "\n");
   }
   os << "  ]\n}\n";
   std::cout << "  wrote BENCH_serve_throughput.json\n";

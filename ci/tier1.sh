@@ -15,7 +15,8 @@
 #      pool / hierarchy cache / brick arena (§12) are exactly what a
 #      race detector must see scheduled live. The socket front's wire
 #      and server tests (§14: poll loop x executor completion
-#      callbacks x client threads) ride in the same tree.
+#      callbacks x client threads) and the batched-solve suite (§15:
+#      the coalescer's hold-window handoff) ride in the same tree.
 #
 #   4. A static stage: the gmg_lint invariant checker, clang-tidy over
 #      src/ when the binary is available (the CI image may only carry
@@ -107,9 +108,9 @@ else
     -DGMG_NATIVE_ARCH=OFF >/dev/null
   cmake --build build-tsan -j"${JOBS}" \
     --target test_exec test_parallel_for test_simmpi test_exchange \
-             test_serve test_wire test_front
+             test_batch test_serve test_wire test_front
   for t in test_exec test_parallel_for test_simmpi test_exchange \
-           test_serve test_wire test_front; do
+           test_batch test_serve test_wire test_front; do
     echo "-- ${t} (tsan)"
     "./build-tsan/tests/${t}"
   done

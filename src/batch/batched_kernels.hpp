@@ -1,0 +1,112 @@
+// The V-cycle operators on batched (multi-RHS) bricked storage —
+// K-systems twins of src/gmg/operators*.{hpp,cpp} (DESIGN.md §15).
+//
+// Bitwise-identity contract: every kernel here evaluates, per cell and
+// component, the exact expression its solo twin evaluates (identical
+// tap summation order, identical patch-up structure), under the
+// repo-wide -ffp-contract=off pin. Element-independent kernels are
+// therefore bitwise identical to K solo runs by construction. The two
+// '+'-reductions (norm2_sq, dot) gather each component's stride-K
+// slice into a contiguous scratch chunk and call the SAME noinline
+// per-chunk helper over the SAME chunk plan as solo, reproducing
+// solo's fixed reduction tree; max_norm reduces strided directly (fp
+// max is exact under any association).
+#pragma once
+
+#include "batch/batched_array.hpp"
+#include "common/types.hpp"
+
+namespace gmg::batch {
+
+/// Ax = alpha*x + beta * (6-point neighbor sum), all K components,
+/// over `active` (base cell coordinates throughout this header).
+void apply_op(BatchedBrickedArray& Ax, const BatchedBrickedArray& x,
+              real_t alpha, real_t beta, const Box& active);
+
+/// x += gamma * (Ax - b).
+void smooth(BatchedBrickedArray& x, const BatchedBrickedArray& Ax,
+            const BatchedBrickedArray& b, real_t gamma, const Box& active);
+
+/// Fused point-Jacobi smooth and residual.
+void smooth_residual(BatchedBrickedArray& x, BatchedBrickedArray& r,
+                     const BatchedBrickedArray& Ax,
+                     const BatchedBrickedArray& b, real_t gamma,
+                     const Box& active);
+
+/// r = b - Ax.
+void residual(BatchedBrickedArray& r, const BatchedBrickedArray& b,
+              const BatchedBrickedArray& Ax, const Box& active);
+
+/// coarse = volume average of the 8 fine cells, per component. Full
+/// interiors; equal base brick shapes and batch sizes.
+void restriction(BatchedBrickedArray& coarse, const BatchedBrickedArray& fine);
+
+/// fine += piecewise-constant coarse correction, per component.
+void interpolation_increment(BatchedBrickedArray& fine,
+                             const BatchedBrickedArray& coarse);
+
+/// One red-black Gauss-Seidel half-sweep per component (constant
+/// coefficients, radius 1).
+void gs_color_sweep(BatchedBrickedArray& x, const BatchedBrickedArray& b,
+                    real_t alpha, real_t beta, int color, Vec3 origin,
+                    const Box& active);
+
+/// Zero the entire storage, ghosts included.
+void init_zero(BatchedBrickedArray& a);
+
+/// max |a_c| over the interior, one component.
+real_t max_norm(const BatchedBrickedArray& a, int c);
+
+/// Sum of a_c(i)^2 over the interior, one component — bitwise equal to
+/// gmg::norm2_sq of the solo field with the same values.
+real_t norm2_sq(const BatchedBrickedArray& a, int c);
+
+/// Local <a_c, b_c> over the interior, one component.
+real_t dot_interior(const BatchedBrickedArray& a, const BatchedBrickedArray& b,
+                    int c);
+
+/// y_c += alpha * x_c over the interior (per-component, for the masked
+/// bottom-CG updates).
+void axpy_interior(BatchedBrickedArray& y, real_t alpha,
+                   const BatchedBrickedArray& x, int c);
+
+/// y_c = x_c + beta * y_c over the interior.
+void xpay_interior(BatchedBrickedArray& y, const BatchedBrickedArray& x,
+                   real_t beta, int c);
+
+/// dst = src over the interior, all components.
+void copy_interior(BatchedBrickedArray& dst, const BatchedBrickedArray& src);
+
+/// y += alpha * x over `active`, all components (shared scalar).
+void axpy(BatchedBrickedArray& y, real_t alpha, const BatchedBrickedArray& x,
+          const Box& active);
+
+/// Chebyshev direction update p = inv_diag * r + beta * p, all
+/// components.
+void cheby_p_update(BatchedBrickedArray& p, const BatchedBrickedArray& r,
+                    real_t inv_diag, real_t beta, const Box& active);
+
+// Variable-coefficient twins: the coefficient/diagonal fields are
+// SHARED across the batch (plain solo arrays from the base hierarchy).
+
+/// Ax = s*x + div(beta grad x), all components, beta shared.
+void apply_op_varcoef(BatchedBrickedArray& Ax, const BatchedBrickedArray& x,
+                      const BrickedArray& beta, real_t identity_coef, real_t h,
+                      const Box& active);
+
+void smooth_residual_varcoef(BatchedBrickedArray& x, BatchedBrickedArray& r,
+                             const BatchedBrickedArray& Ax,
+                             const BatchedBrickedArray& b,
+                             const BrickedArray& diag, real_t omega,
+                             const Box& active);
+
+void smooth_varcoef(BatchedBrickedArray& x, const BatchedBrickedArray& Ax,
+                    const BatchedBrickedArray& b, const BrickedArray& diag,
+                    real_t omega, const Box& active);
+
+void cheby_p_update_varcoef(BatchedBrickedArray& p,
+                            const BatchedBrickedArray& r,
+                            const BrickedArray& diag, real_t beta_ch,
+                            const Box& active);
+
+}  // namespace gmg::batch

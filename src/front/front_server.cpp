@@ -521,6 +521,8 @@ wire::StatsFrame FrontServer::shard_stats() const {
     e.spilled_in = shards_[s]->spilled_in.load(std::memory_order_relaxed);
     e.queue_depth = svc.queue_depth;
     e.inflight = a.inflight;
+    e.batch_solves = svc.batch_solves;
+    e.batch_requests = svc.batch_requests;
     e.inflight_cost = a.inflight_cost;
     e.cache_hit_ratio = svc.cache_hit_ratio;
     out.shards.push_back(e);

@@ -270,6 +270,8 @@ std::vector<std::uint8_t> encode_stats(const StatsFrame& f) {
     w.put_u64(s.spilled_in);
     w.put_u64(s.queue_depth);
     w.put_u64(s.inflight);
+    w.put_u64(s.batch_solves);
+    w.put_u64(s.batch_requests);
     w.put_f64(s.inflight_cost);
     w.put_f64(s.cache_hit_ratio);
   }
@@ -354,9 +356,9 @@ bool decode_stats(const std::vector<std::uint8_t>& payload, StatsFrame* out,
   Cursor c(payload.data(), payload.size());
   std::uint32_t count = 0;
   if (!c.get_u32(&count)) return fail(error, "truncated stats payload");
-  // 100 bytes per entry; reject counts the payload cannot back before
+  // 116 bytes per entry; reject counts the payload cannot back before
   // reserving anything.
-  if (c.remaining() / 100 < count)
+  if (c.remaining() / 116 < count)
     return fail(error, "stats shard count exceeds payload");
   out->shards.clear();
   out->shards.reserve(count);
@@ -367,7 +369,8 @@ bool decode_stats(const std::vector<std::uint8_t>& payload, StatsFrame* out,
         !c.get_u64(&s.expired) || !c.get_u64(&s.rejected) ||
         !c.get_u64(&s.failed) || !c.get_u64(&s.shed_overload) ||
         !c.get_u64(&s.spilled_in) || !c.get_u64(&s.queue_depth) ||
-        !c.get_u64(&s.inflight) || !c.get_f64(&s.inflight_cost) ||
+        !c.get_u64(&s.inflight) || !c.get_u64(&s.batch_solves) ||
+        !c.get_u64(&s.batch_requests) || !c.get_f64(&s.inflight_cost) ||
         !c.get_f64(&s.cache_hit_ratio)) {
       return fail(error, "truncated stats entry");
     }

@@ -39,7 +39,10 @@
 namespace gmg::front::wire {
 
 inline constexpr std::uint32_t kMagic = 0x31474D46u;  // "FMG1" little-endian
-inline constexpr std::uint8_t kVersion = 1;
+// v2: ShardStatsEntry grew batch_solves/batch_requests (coalescer
+// occupancy). Version mismatches poison the stream, so v1 peers must
+// upgrade in lockstep — the protocol has no mixed-version mode.
+inline constexpr std::uint8_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Hard cap on a frame payload (64 MiB covers a 192^3 solution copy;
 /// anything larger is rejected before allocation).
@@ -136,6 +139,10 @@ struct ShardStatsEntry {
   std::uint64_t spilled_in = 0;     // overflow routed here cold
   std::uint64_t queue_depth = 0;
   std::uint64_t inflight = 0;
+  /// Coalescer occupancy (v2): batched solve invocations and the
+  /// requests they carried; requests/solves = mean batch size.
+  std::uint64_t batch_solves = 0;
+  std::uint64_t batch_requests = 0;
   double inflight_cost = 0;
   double cache_hit_ratio = 0;
 };

@@ -480,17 +480,34 @@ std::int64_t interior_span(const BrickedArray& a) {
 
 }  // namespace
 
+namespace detail {
+
+real_t sum_sq_range(const real_t* p, std::int64_t n) {
+  real_t sum = 0.0;
+#pragma omp simd reduction(+ : sum)
+  for (std::int64_t i = 0; i < n; ++i) sum += p[i] * p[i];
+  return sum;
+}
+
+real_t dot_range(const real_t* a, const real_t* b, std::int64_t n) {
+  real_t sum = 0.0;
+#pragma omp simd reduction(+ : sum)
+  for (std::int64_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace detail
+
 real_t norm2_sq(const BrickedArray& a) {
   const real_t* __restrict p = a.data();
   // Chunked tree reduction: per-chunk partial sums combined in fixed
-  // chunk order — bitwise reproducible at any worker count.
+  // chunk order — bitwise reproducible at any worker count. The chunk
+  // body lives in detail:: so the batched per-component reduction can
+  // run the identical compiled loop.
   return exec::parallel_reduce_sum<real_t>(
       "kernel.norm2", interior_span(a), exec::kElementGrain,
       [&](std::int64_t lo, std::int64_t hi) {
-        real_t sum = 0.0;
-#pragma omp simd reduction(+ : sum)
-        for (std::int64_t i = lo; i < hi; ++i) sum += p[i] * p[i];
-        return sum;
+        return detail::sum_sq_range(p + lo, hi - lo);
       });
 }
 
@@ -501,10 +518,7 @@ real_t dot_interior(const BrickedArray& a, const BrickedArray& b) {
   return exec::parallel_reduce_sum<real_t>(
       "kernel.dot", interior_span(a), exec::kElementGrain,
       [&](std::int64_t lo, std::int64_t hi) {
-        real_t sum = 0.0;
-#pragma omp simd reduction(+ : sum)
-        for (std::int64_t i = lo; i < hi; ++i) sum += pa[i] * pb[i];
-        return sum;
+        return detail::dot_range(pa + lo, pb + lo, hi - lo);
       });
 }
 

@@ -90,6 +90,20 @@ void cheby_p_update(BrickedArray& p, const BrickedArray& r, real_t inv_diag,
 void gs_color_sweep(BrickedArray& x, const BrickedArray& b, real_t alpha,
                     real_t beta, int color, Vec3 origin, const Box& active);
 
+namespace detail {
+
+// Per-chunk reduction bodies, shared between the solo reductions above
+// and the per-component batched reductions (src/batch). noinline so
+// both callers run the exact same compiled loop — hand a batched
+// component's gathered chunk to the same function over the same chunk
+// plan and the partial sums (and therefore the fixed reduction tree)
+// are bitwise identical to solo.
+[[gnu::noinline]] real_t sum_sq_range(const real_t* p, std::int64_t n);
+[[gnu::noinline]] real_t dot_range(const real_t* a, const real_t* b,
+                                   std::int64_t n);
+
+}  // namespace detail
+
 /// fine(i,j,k) = coarse(i/2,j/2,k/2) (piecewise-constant prolongation;
 /// the increment form is the V-cycle's correction transfer).
 void interpolation_assign(BrickedArray& fine, const BrickedArray& coarse);

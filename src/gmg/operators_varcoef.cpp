@@ -50,36 +50,18 @@ void apply_op_varcoef(BrickedArray& Ax, const BrickedArray& x,
   // term and flux sum — ~26 flops per output cell.
   trace::TraceSpan span("kernel.applyOpVarCoef");
   count_flops_vc(active, 26);
-  using namespace dsl;
-  Grid<0> X;
-  Grid<1> B;
   const real_t f = 0.5 / (h * h);
   // Face-averaged flux form, written directly in the stencil DSL with
   // the coefficient bound to grid slot 1 (Fig. 1's "non-constant
-  // coefficients").
-  const auto expr =
-      Coef(identity_coef) * X(i, j, k) +
-      Coef(f) *
-          ((B(i, j, k) + B(i + 1, j, k)) * (X(i + 1, j, k) - X(i, j, k)) +
-           (B(i, j, k) + B(i - 1, j, k)) * (X(i - 1, j, k) - X(i, j, k)) +
-           (B(i, j, k) + B(i, j + 1, k)) * (X(i, j + 1, k) - X(i, j, k)) +
-           (B(i, j, k) + B(i, j - 1, k)) * (X(i, j - 1, k) - X(i, j, k)) +
-           (B(i, j, k) + B(i, j, k + 1)) * (X(i, j, k + 1) - X(i, j, k)) +
-           (B(i, j, k) + B(i, j, k - 1)) * (X(i, j, k - 1) - X(i, j, k)));
-  dsl::apply(expr, Ax, active, x, beta);
+  // coefficients"). The tree itself lives in vc:: so the batched
+  // engine applies the identical expression.
+  dsl::apply(vc::apply_expr(identity_coef, f), Ax, active, x, beta);
 }
 
 void varcoef_diagonal(BrickedArray& diag, const BrickedArray& beta,
                       real_t identity_coef, real_t h, const Box& active) {
-  using namespace dsl;
-  Grid<0> B;
   const real_t f = 0.5 / (h * h);
-  const auto expr =
-      Coef(identity_coef) -
-      Coef(f) * (Coef(6.0) * B(i, j, k) + B(i + 1, j, k) + B(i - 1, j, k) +
-                 B(i, j + 1, k) + B(i, j - 1, k) + B(i, j, k + 1) +
-                 B(i, j, k - 1));
-  dsl::apply(expr, diag, active, beta);
+  dsl::apply(vc::diagonal_expr(identity_coef, f), diag, active, beta);
 }
 
 void smooth_residual_varcoef(BrickedArray& x, BrickedArray& r,

@@ -10,8 +10,46 @@
 
 #include "brick/bricked_array.hpp"
 #include "common/types.hpp"
+#include "dsl/stencils.hpp"
 
 namespace gmg {
+
+namespace vc {
+
+// The variable-coefficient expression trees, shared between the solo
+// kernels below and the batched engine (src/batch): both sides apply
+// literally the same expression object, so per-element arithmetic —
+// and with it the bitwise-identity contract of batched solves — cannot
+// drift between the two paths.
+
+/// A x = s*x + (1/h^2) sum_faces 0.5*(beta_i + beta_nbr)*(x_nbr - x_i)
+/// with x on slot 0, beta on slot 1, and f = 0.5/h^2.
+inline auto apply_expr(real_t identity_coef, real_t f) {
+  using namespace dsl;
+  Grid<0> X;
+  Grid<1> B;
+  return Coef(identity_coef) * X(i, j, k) +
+         Coef(f) *
+             ((B(i, j, k) + B(i + 1, j, k)) * (X(i + 1, j, k) - X(i, j, k)) +
+              (B(i, j, k) + B(i - 1, j, k)) * (X(i - 1, j, k) - X(i, j, k)) +
+              (B(i, j, k) + B(i, j + 1, k)) * (X(i, j + 1, k) - X(i, j, k)) +
+              (B(i, j, k) + B(i, j - 1, k)) * (X(i, j - 1, k) - X(i, j, k)) +
+              (B(i, j, k) + B(i, j, k + 1)) * (X(i, j, k + 1) - X(i, j, k)) +
+              (B(i, j, k) + B(i, j, k - 1)) * (X(i, j, k - 1) - X(i, j, k)));
+}
+
+/// diag = s - f*(6*beta_i + sum of the 6 face neighbors), beta on
+/// slot 0.
+inline auto diagonal_expr(real_t identity_coef, real_t f) {
+  using namespace dsl;
+  Grid<0> B;
+  return Coef(identity_coef) -
+         Coef(f) * (Coef(6.0) * B(i, j, k) + B(i + 1, j, k) + B(i - 1, j, k) +
+                    B(i, j + 1, k) + B(i, j - 1, k) + B(i, j, k + 1) +
+                    B(i, j, k - 1));
+}
+
+}  // namespace vc
 
 /// Ax = s*x + div(beta grad x) over `active`. Requires valid x and
 /// beta ghosts covering the active region grown by one cell.

@@ -35,7 +35,7 @@ static_assert(check::interpolation_trilinear_shape().num_taps() == 27,
 
 GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
                      int rank)
-    : opts_(opts), rank_(rank) {
+    : opts_(opts), decomp_(decomp), rank_(rank) {
   GMG_REQUIRE(opts_.levels >= 1, "need at least one level");
   GMG_REQUIRE(opts_.smooths >= 1, "need at least one smoothing iteration");
   GMG_REQUIRE(opts_.operator_radius == 1 || opts_.operator_radius == 2,
@@ -289,9 +289,27 @@ void GmgSolver::exchange_for_smooth(comm::Communicator& comm, MgLevel& lev) {
 }
 
 bool GmgSolver::use_overlap(const MgLevel& lev) const {
-  return opts_.overlap && lev.has_remote &&
-         static_cast<int>(lev.part.interior.size()) >=
-             opts_.overlap_min_interior_bricks;
+  if (!(opts_.overlap && lev.has_remote &&
+        static_cast<int>(lev.part.interior.size()) >=
+            opts_.overlap_min_interior_bricks)) {
+    return false;
+  }
+  // Work-vs-traffic cutoff: split-phase only pays off when the interior
+  // compute hidden behind the messages outweighs the per-exchange
+  // split/submit/wait overhead, which scales with the remote payload.
+  // Value-neutral either way (DESIGN.md §10).
+  if (opts_.overlap_min_compute_bytes_ratio > 0.0) {
+    const double interior_bytes =
+        static_cast<double>(lev.part.interior.size()) *
+        static_cast<double>(lev.shape.volume()) * sizeof(real_t);
+    const double remote_bytes =
+        static_cast<double>(lev.exchange->remote_bytes_per_exchange());
+    if (interior_bytes <
+        opts_.overlap_min_compute_bytes_ratio * remote_bytes) {
+      return false;
+    }
+  }
+  return true;
 }
 
 exec::Engine& GmgSolver::engine() {

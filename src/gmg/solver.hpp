@@ -71,6 +71,34 @@ struct GmgOptions {
   /// coarse grids there is next to no interior work to hide the
   /// messages behind, so the split-phase machinery is pure overhead.
   int overlap_min_interior_bricks = 4;
+  /// Second overlap cutoff, in work-vs-traffic terms: split-phase
+  /// engages only where the interior field bytes (the compute hidden
+  /// behind the messages) are at least this multiple of the remote
+  /// payload bytes one exchange round moves. The brick-count floor
+  /// above catches tiny coarse grids; this ratio catches the
+  /// surface-dominated shapes in between, where the safe interior is a
+  /// sliver and the split-phase machinery (stream submit, shell sweep
+  /// bookkeeping, event wait) costs more than the messages it hides.
+  /// Overlap is value-neutral (DESIGN.md §10), so this is purely a
+  /// performance knob; 0 disables the ratio test. The default was set
+  /// by measurement on fig8's 8-rank 64^3 problem: its split-phase
+  /// levels sit at interior/payload ratios of 0.44 (L0) and 0.05 (L1)
+  /// and hide 35–53% of the *visible* exchange wait there, yet the
+  /// wall clock runs a consistent ~6–10% *slower* than blocking —
+  /// with host-parallelism oversubscribed, the hidden wait is cost
+  /// moved, not removed, and the split/submit/wait machinery is a
+  /// pure add. 8.0 keeps split-phase for the regime where interior
+  /// arithmetic genuinely dwarfs the traffic (roughly >=64^3 per rank
+  /// at brick 4^3), and turns small-subdomain solves — including
+  /// everything the serve tier batches — back into the cheaper
+  /// blocking exchange. Set to 0 to measure raw split-phase behavior
+  /// (what fig8 --overlap=on reports per level).
+  double overlap_min_compute_bytes_ratio = 8.0;
+  /// Upper bound on how many compatible requests the serve tier's
+  /// coalescer may fuse into one batched solve through this hierarchy
+  /// (src/batch). 1 = no coalescing. Not part of the hierarchy cache
+  /// key: batching reuses the solo hierarchy's geometry unchanged.
+  int max_batch = 1;
 
   /// The operator solved is A = identity_coef * I + laplacian_coef *
   /// Laplacian_h. The paper's model problem is (0, 1); an implicit
@@ -138,6 +166,10 @@ class GmgSolver {
   }
   const GmgOptions& options() const { return opts_; }
   int rank() const { return rank_; }
+  /// The decomposition this hierarchy was built for (kept by value so
+  /// batched twins — src/batch — can build their own stretched-shape
+  /// exchange engines against the same rank geometry).
+  const CartDecomp& decomp() const { return decomp_; }
 
   /// Per-request solve parameters that do not affect hierarchy setup
   /// (the serve layer reuses one cached hierarchy across requests with
@@ -262,6 +294,7 @@ class GmgSolver {
   }
 
   GmgOptions opts_;
+  CartDecomp decomp_;
   int rank_;
   bool storage_detached_ = false;
   std::vector<MgLevel> levels_;

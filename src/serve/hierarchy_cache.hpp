@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "batch/batched_solver.hpp"
 #include "brick/brick_arena.hpp"
 #include "gmg/solver.hpp"
 #include "mesh/decomposition.hpp"
@@ -34,6 +36,16 @@ struct CachedHierarchy {
   GmgOptions options;
   /// One solver per rank of `decomp`, index == rank.
   std::vector<std::unique_ptr<GmgSolver>> solvers;
+  /// Batched (multi-RHS) twins keyed by batch size K, one per rank,
+  /// built lazily on the first K-way coalesced batch and reused for
+  /// the hierarchy's lifetime — a batched solver's construction
+  /// (stretched exchanges, K-wide fields) is per-shape setup, exactly
+  /// what this cache exists to amortize. Their storage stays attached
+  /// while the entry is idle: a memory-for-latency trade scoped to
+  /// operators that opted into batching (GmgOptions::max_batch > 1).
+  /// Declared after `solvers`: each BatchedSolver references its base
+  /// GmgSolver and must be destroyed first.
+  std::map<int, std::vector<std::unique_ptr<batch::BatchedSolver>>> batched;
   /// Variable-coefficient operators evaluate their coefficient once
   /// per hierarchy (it is keyed state, like the stencil).
   bool coefficient_set = false;

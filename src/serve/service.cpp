@@ -1,9 +1,11 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
+#include "batch/batched_solver.hpp"
 #include "trace/trace.hpp"
 
 namespace gmg::serve {
@@ -164,6 +166,14 @@ SolveFuture SolveService::enqueue(SolveRequest req, bool block) {
     rs->seq = next_seq_++;
     ++accepted_;
     ++inflight_;
+    if (last_enqueue_ns_ != 0 && rs->submit_ns > last_enqueue_ns_) {
+      const double dt =
+          static_cast<double>(rs->submit_ns - last_enqueue_ns_) * 1e-9;
+      ewma_interarrival_s_ = ewma_interarrival_s_ == 0
+                                 ? dt
+                                 : 0.8 * ewma_interarrival_s_ + 0.2 * dt;
+    }
+    last_enqueue_ns_ = rs->submit_ns;
     queue_.push_back(rs);
     std::push_heap(queue_.begin(), queue_.end(), detail::heap_less);
     queue_high_water_ = std::max(queue_high_water_, queue_.size());
@@ -176,18 +186,84 @@ SolveFuture SolveService::enqueue(SolveRequest req, bool block) {
 
 void SolveService::executor_loop() {
   for (;;) {
-    std::shared_ptr<detail::RequestState> rs;
+    std::vector<std::shared_ptr<detail::RequestState>> group;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
       std::pop_heap(queue_.begin(), queue_.end(), detail::heap_less);
-      rs = std::move(queue_.back());
+      group.push_back(std::move(queue_.back()));
       queue_.pop_back();
+      gather_batch(lock, group);
+      // Gathering may have consumed enqueue notifications meant for an
+      // idle executor; re-arm one if work remains.
+      if (!queue_.empty()) queue_cv_.notify_one();
     }
-    trace::counter_add("serve.dequeued", 1);
-    space_cv_.notify_one();
-    execute(rs);
+    trace::counter_add("serve.dequeued", group.size());
+    space_cv_.notify_all();
+    if (group.size() == 1) {
+      execute(group.front());
+    } else {
+      execute_batch(std::move(group));
+    }
+  }
+}
+
+void SolveService::gather_batch(
+    std::unique_lock<std::mutex>& lock,
+    std::vector<std::shared_ptr<detail::RequestState>>& group) {
+  // Copy the shared_ptr: push_back below may reallocate `group`, which
+  // would invalidate a reference into it.
+  const std::shared_ptr<detail::RequestState> leader = group.front();
+  const auto it = operators_.find(leader->req.operator_id);
+  if (it == operators_.end()) return;
+  const std::size_t max_batch =
+      static_cast<std::size_t>(std::max(1, it->second.options.max_batch));
+  // The batched solver runs the interpreted kernels only.
+  if (max_batch <= 1 || it->second.options.use_generated_kernels) return;
+
+  // Compatible = same hierarchy_key. Requests share the operator-id's
+  // registered options, so the key reduces to (operator_id, domain);
+  // tolerance, cycle budget, and deadline ride per-component.
+  const auto compatible = [&](const detail::RequestState& cand) {
+    return cand.req.operator_id == leader->req.operator_id &&
+           cand.req.domain.global_extent == leader->req.domain.global_extent &&
+           cand.req.domain.rank_grid == leader->req.domain.rank_grid;
+  };
+  const auto take_matching = [&] {
+    bool changed = false;
+    for (auto qit = queue_.begin();
+         qit != queue_.end() && group.size() < max_batch;) {
+      if (compatible(**qit)) {
+        group.push_back(std::move(*qit));
+        qit = queue_.erase(qit);
+        changed = true;
+      } else {
+        ++qit;
+      }
+    }
+    if (changed) {
+      std::make_heap(queue_.begin(), queue_.end(), detail::heap_less);
+    }
+  };
+
+  take_matching();
+  if (group.size() >= max_batch) return;
+
+  // Adaptive hold: wait for stragglers only while arrivals are landing
+  // at least as fast as the window — an idle service executes solo
+  // requests immediately.
+  const double hold = config_.max_batch_hold_seconds;
+  if (hold <= 0) return;
+  if (ewma_interarrival_s_ <= 0 || ewma_interarrival_s_ > hold) return;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(hold);
+  while (group.size() < max_batch && !stopping_) {
+    if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      take_matching();
+      return;
+    }
+    take_matching();
   }
 }
 
@@ -298,6 +374,166 @@ void SolveService::execute(const std::shared_ptr<detail::RequestState>& rs) {
   }
 }
 
+void SolveService::execute_batch(
+    std::vector<std::shared_ptr<detail::RequestState>> group) {
+  trace::TraceSpan request_span("serve.batch", trace::Category::kOther);
+  const std::uint64_t start_ns = trace::now_ns();
+
+  // Per-member admission checks; members that died in the queue drop
+  // out of the batch individually.
+  std::vector<std::shared_ptr<detail::RequestState>> live;
+  live.reserve(group.size());
+  for (auto& rs : group) {
+    rs->result.queue_seconds =
+        static_cast<double>(start_ns - rs->submit_ns) * 1e-9;
+    if (rs->control.cancel.load(std::memory_order_relaxed)) {
+      complete(rs, RequestStatus::kCancelled);
+    } else if (rs->deadline_ns != 0 && start_ns >= rs->deadline_ns) {
+      complete(rs, RequestStatus::kExpired);
+    } else {
+      live.push_back(std::move(rs));
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    execute(live.front());
+    return;
+  }
+
+  const auto& lead = live.front();
+  const auto fail_all = [&](const std::string& error) {
+    for (auto& rs : live) {
+      rs->result.error = error;
+      complete(rs, RequestStatus::kFailed);
+    }
+  };
+  OperatorSpec spec;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = operators_.find(lead->req.operator_id);
+    if (it != operators_.end()) {
+      spec = it->second;
+      found = true;
+    }
+  }
+  if (!found) {
+    fail_all("unknown operator id: " + lead->req.operator_id);
+    return;
+  }
+
+  const std::string key =
+      hierarchy_key(lead->req.domain, lead->req.operator_id, spec.options);
+  const int nranks = lead->req.domain.ranks();
+  const int k = static_cast<int>(live.size());
+
+  std::unique_ptr<CachedHierarchy> entry;
+  try {
+    entry = cache_.acquire(key);
+    const bool cache_hit = entry != nullptr;
+    double setup_seconds = 0;
+    if (!entry) {
+      trace::counter_add("serve.cache_misses", 1);
+      trace::TraceSpan setup_span("serve.setup");
+      const CartDecomp decomp(lead->req.domain.global_extent,
+                              lead->req.domain.rank_grid);
+      entry = std::make_unique<CachedHierarchy>(key, decomp, spec.options);
+      entry->solvers.reserve(static_cast<std::size_t>(nranks));
+      for (int r = 0; r < nranks; ++r) {
+        entry->solvers.push_back(
+            std::make_unique<GmgSolver>(spec.options, decomp, r));
+      }
+      setup_seconds = setup_span.elapsed();
+    } else {
+      trace::counter_add("serve.cache_hits", 1);
+    }
+
+    const bool needs_coefficient =
+        spec.coefficient != nullptr && !entry->coefficient_set;
+
+    std::vector<std::function<real_t(real_t, real_t, real_t)>> rhs;
+    std::vector<batch::BatchSolveSpec> specs;
+    rhs.reserve(live.size());
+    specs.reserve(live.size());
+    for (const auto& rs : live) {
+      rhs.push_back(rs->req.rhs);
+      specs.push_back(batch::BatchSolveSpec{rs->req.tolerance,
+                                            rs->req.max_vcycles,
+                                            &rs->control});
+    }
+
+    std::vector<std::vector<SolveResult>> per_rank(
+        static_cast<std::size_t>(nranks));
+    std::vector<std::vector<std::vector<real_t>>> per_rank_solution(
+        static_cast<std::size_t>(nranks));
+    auto& batched = entry->batched[k];
+    if (batched.empty()) batched.resize(static_cast<std::size_t>(nranks));
+    double solve_seconds = 0;
+    {
+      trace::TraceSpan solve_span("serve.solve");
+      comm::World world(nranks);
+      world.run([&](comm::Communicator& c) {
+        const std::size_t r = static_cast<std::size_t>(c.rank());
+        GmgSolver& s = *entry->solvers[r];
+        if (needs_coefficient) s.set_coefficient(c, spec.coefficient);
+        if (!batched[r]) {
+          batched[r] = std::make_unique<batch::BatchedSolver>(s, k, &arena_);
+        }
+        batch::BatchedSolver& bs = *batched[r];
+        bs.set_rhs(rhs);
+        per_rank[r] = bs.solve(c, specs);
+        per_rank_solution[r].reserve(static_cast<std::size_t>(k));
+        for (int c2 = 0; c2 < k; ++c2) {
+          per_rank_solution[r].push_back(bs.solution(c2));
+        }
+      });
+      solve_seconds = solve_span.elapsed();
+    }
+    if (needs_coefficient) entry->coefficient_set = true;
+    cache_.release(std::move(entry));
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_solves_ += 1;
+      batch_requests_ += static_cast<std::uint64_t>(k);
+    }
+    trace::counter_add("serve.batch_solves", 1);
+    trace::counter_add("serve.batch_requests",
+                       static_cast<std::uint64_t>(k));
+
+    for (int c = 0; c < k; ++c) {
+      auto& rs = live[static_cast<std::size_t>(c)];
+      rs->result.cache_hit = cache_hit;
+      rs->result.setup_seconds = setup_seconds;
+      rs->result.solve_seconds = solve_seconds;
+      rs->result.solve = per_rank.front()[static_cast<std::size_t>(c)];
+      if (rs->req.return_solution && !rs->result.solve.cancelled) {
+        const Vec3 g = rs->req.domain.global_extent;
+        rs->result.solution.reserve(
+            static_cast<std::size_t>(g.x) * static_cast<std::size_t>(g.y) *
+            static_cast<std::size_t>(g.z));
+        for (int r = 0; r < nranks; ++r) {
+          const auto& sol =
+              per_rank_solution[static_cast<std::size_t>(r)]
+                               [static_cast<std::size_t>(c)];
+          rs->result.solution.insert(rs->result.solution.end(), sol.begin(),
+                                     sol.end());
+        }
+      }
+      if (rs->result.solve.cancelled) {
+        complete(rs, rs->control.cancel.load(std::memory_order_relaxed)
+                         ? RequestStatus::kCancelled
+                         : RequestStatus::kExpired);
+      } else {
+        complete(rs, RequestStatus::kDone);
+      }
+    }
+  } catch (const std::exception& e) {
+    entry.reset();
+    fail_all(e.what());
+  }
+}
+
 void SolveService::complete(const std::shared_ptr<detail::RequestState>& rs,
                             RequestStatus status) {
   rs->result.total_seconds =
@@ -392,6 +628,8 @@ ServiceReport SolveService::report() const {
     rep.failed = failed_;
     rep.queue_depth = queue_.size();
     rep.queue_high_water = queue_high_water_;
+    rep.batch_solves = batch_solves_;
+    rep.batch_requests = batch_requests_;
     samples = latency_samples_;
   }
   rep.cache = cache_.stats();
@@ -417,6 +655,8 @@ ServiceStats SolveService::stats() const {
     s.failed = failed_;
     s.queue_depth = queue_.size();
     s.inflight = inflight_;
+    s.batch_solves = batch_solves_;
+    s.batch_requests = batch_requests_;
   }
   s.cache_hit_ratio = cache_.stats().hit_ratio();
   return s;
@@ -434,6 +674,12 @@ std::string ServiceReport::to_string() const {
      << "arena: acquires=" << arena.acquires << " hits=" << arena.hits
      << " reuse=" << arena.reuse_ratio()
      << " pooled_bytes=" << arena.pooled_bytes << "\n"
+     << "batch: solves=" << batch_solves << " requests=" << batch_requests
+     << " occupancy="
+     << (batch_solves ? static_cast<double>(batch_requests) /
+                            static_cast<double>(batch_solves)
+                      : 0.0)
+     << "\n"
      << "latency: p50=" << latency_p50 << "s p99=" << latency_p99
      << "s p999=" << latency_p999 << "s max=" << latency_max << "s\n";
   return os.str();

@@ -140,6 +140,13 @@ struct ServeConfig {
   /// Start trace::start_periodic_flush at this interval; 0 consults
   /// GMG_TRACE_FLUSH_MS (and leaves flushing off when unset).
   double trace_flush_seconds = 0;
+  /// Coalescer hold window: an executor that popped a request whose
+  /// operator allows batching (GmgOptions::max_batch > 1) but found
+  /// fewer than max_batch compatible peers queued may wait up to this
+  /// long for stragglers — and only when the recent arrival rate says
+  /// stragglers are likely (EWMA inter-arrival <= the window). An
+  /// empty queue with sparse arrivals never delays a solo request.
+  double max_batch_hold_seconds = 0.002;
 };
 
 /// Live admission-level counters, cheap enough to sample per request
@@ -162,6 +169,10 @@ struct ServiceStats {
   /// Admitted but not yet complete (queued + executing).
   std::size_t inflight = 0;
   double cache_hit_ratio = 0;
+  /// Coalescer tallies: batched solve invocations (K >= 2) and the
+  /// requests they carried. requests/solves = mean batch occupancy.
+  std::uint64_t batch_solves = 0;
+  std::uint64_t batch_requests = 0;
 };
 
 /// Point-in-time service metrics (report()).
@@ -174,6 +185,8 @@ struct ServiceReport {
   std::uint64_t failed = 0;
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
+  std::uint64_t batch_solves = 0;
+  std::uint64_t batch_requests = 0;
   HierarchyCache::Stats cache;
   BrickArena::Stats arena;
   /// Total request latency (submission to completion) over finished
@@ -236,7 +249,18 @@ class SolveService {
  private:
   SolveFuture enqueue(SolveRequest req, bool block);
   void executor_loop();
+  /// Coalescer (DESIGN.md §15): with mu_ held and `group` holding one
+  /// just-popped leader, pull queued requests that can ride the same
+  /// batched solve (same operator, domain, decomposition — i.e. the
+  /// same hierarchy_key; tolerance/deadline stay per-component) up to
+  /// the operator's max_batch, holding briefly for stragglers when the
+  /// arrival rate warrants it.
+  void gather_batch(std::unique_lock<std::mutex>& lock,
+                    std::vector<std::shared_ptr<detail::RequestState>>& group);
   void execute(const std::shared_ptr<detail::RequestState>& rs);
+  /// Run >= 2 coalesced requests as one K-way batched solve.
+  void execute_batch(
+      std::vector<std::shared_ptr<detail::RequestState>> group);
   void complete(const std::shared_ptr<detail::RequestState>& rs,
                 RequestStatus status);
 
@@ -260,6 +284,10 @@ class SolveService {
                 expired_ = 0, rejected_ = 0, failed_ = 0;
   std::size_t inflight_ = 0;  // admitted, not yet complete
   std::size_t queue_high_water_ = 0;
+  std::uint64_t batch_solves_ = 0, batch_requests_ = 0;
+  /// Arrival-rate estimate feeding the adaptive hold window.
+  double ewma_interarrival_s_ = 0;
+  std::uint64_t last_enqueue_ns_ = 0;
   std::vector<double> latency_samples_;
 
   std::vector<std::thread> executors_;

@@ -504,6 +504,227 @@ TEST(ReentrantSolver, DetachAttachRoundTripMatchesFreshSolver) {
   EXPECT_GE(arena.stats().hits, 1u);
 }
 
+// ---- BatchCoalescer (DESIGN.md §15) ----------------------------------
+//
+// Coalescing is an executor-side regrouping: results must stay bitwise
+// identical to the uncoalesced service, batches must only form across
+// compatible requests, and queue-side cancellations/deadlines must
+// drop members without poisoning the batch.
+
+real_t cosine_rhs(real_t x, real_t y, real_t z) {
+  return std::cos(2 * M_PI * x) * std::sin(4 * M_PI * y) * (0.5 + z);
+}
+
+real_t poly_rhs(real_t x, real_t y, real_t z) {
+  return x * (1 - x) + 0.25 * std::sin(2 * M_PI * (y + z));
+}
+
+GmgOptions batched_options(int max_batch) {
+  GmgOptions o = small_options(4, 2);
+  o.max_batch = max_batch;
+  return o;
+}
+
+TEST(BatchCoalescer, CoalescedBatchBitwiseMatchesSoloService) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  cfg.queue_capacity = 8;
+  SolveService service(cfg);
+  service.register_operator("poisson", batched_options(4));
+
+  // Pin the lone executor so the three batchable requests pile up in
+  // the queue; on release the executor pops one leader and coalesces
+  // the other two into a K=3 batched solve.
+  Gate gate;
+  SolveRequest pinned = basic_request();
+  pinned.domain.global_extent = {16, 16, 16};
+  pinned.rhs = [&](real_t x, real_t y, real_t z) {
+    gate.wait();
+    return sine_rhs(x, y, z);
+  };
+  SolveFuture running = service.submit(pinned);
+  gate.await_entered();
+
+  const std::function<real_t(real_t, real_t, real_t)> rhses[3] = {
+      sine_rhs, cosine_rhs, poly_rhs};
+  std::vector<SolveFuture> futures;
+  for (const auto& f : rhses) {
+    SolveRequest req = basic_request();
+    req.domain.global_extent = {16, 16, 16};
+    req.rhs = f;
+    futures.push_back(service.submit(req));
+  }
+  gate.release();
+
+  EXPECT_EQ(running.get().status, RequestStatus::kDone);
+  for (int i = 0; i < 3; ++i) {
+    const RequestResult res = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(res.status, RequestStatus::kDone) << res.error;
+    const Reference ref = solo_solve(
+        batched_options(4), DomainSpec{{16, 16, 16}, {1, 1, 1}}, rhses[i],
+        1e-8, 40);
+    EXPECT_EQ(res.solve.vcycles, ref.result.vcycles) << "rhs " << i;
+    EXPECT_EQ(res.solve.final_residual, ref.result.final_residual)
+        << "rhs " << i;
+    EXPECT_EQ(res.solve.history, ref.result.history) << "rhs " << i;
+    ASSERT_EQ(res.solution.size(), ref.solution.size());
+    EXPECT_EQ(res.solution, ref.solution) << "rhs " << i;
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batch_solves, 1u);
+  EXPECT_EQ(stats.batch_requests, 3u);
+  const ServiceReport rep = service.report();
+  EXPECT_EQ(rep.batch_solves, 1u);
+  EXPECT_EQ(rep.batch_requests, 3u);
+}
+
+TEST(BatchCoalescer, FirstRequestOnIdleServiceRunsSoloImmediately) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  // Pathologically long hold window: if the executor held a lone
+  // request waiting for peers, this test would hang for 30 s. With no
+  // arrival history (EWMA = 0) the hold must not engage.
+  cfg.max_batch_hold_seconds = 30.0;
+  SolveService service(cfg);
+  service.register_operator("poisson", batched_options(8));
+
+  SolveRequest req = basic_request();
+  req.domain.global_extent = {16, 16, 16};
+  const auto t0 = std::chrono::steady_clock::now();
+  const RequestResult res = service.submit(req).get();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(res.status, RequestStatus::kDone) << res.error;
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_EQ(service.stats().batch_solves, 0u);
+}
+
+TEST(BatchCoalescer, HoldWindowCollectsStraggler) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  cfg.max_batch_hold_seconds = 2.0;
+  SolveService service(cfg);
+  service.register_operator("poisson", batched_options(2));
+
+  Gate gate;
+  SolveRequest pinned = basic_request();
+  pinned.domain.global_extent = {16, 16, 16};
+  pinned.rhs = [&](real_t x, real_t y, real_t z) {
+    gate.wait();
+    return sine_rhs(x, y, z);
+  };
+  SolveFuture running = service.submit(pinned);
+  gate.await_entered();
+
+  // One batchable request queued (EWMA now primed well under the hold
+  // window); its straggler arrives shortly after the gate opens.
+  SolveRequest first = basic_request();
+  first.domain.global_extent = {16, 16, 16};
+  first.rhs = cosine_rhs;
+  SolveFuture f1 = service.submit(first);
+  gate.release();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  SolveRequest second = first;
+  second.rhs = poly_rhs;
+  SolveFuture f2 = service.submit(second);
+
+  EXPECT_EQ(running.get().status, RequestStatus::kDone);
+  EXPECT_EQ(f1.get().status, RequestStatus::kDone);
+  EXPECT_EQ(f2.get().status, RequestStatus::kDone);
+  // Whether the straggler was caught inside the hold window or was
+  // already queued when the leader popped, the pair must have run as
+  // one K=2 batch.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batch_solves, 1u);
+  EXPECT_EQ(stats.batch_requests, 2u);
+}
+
+TEST(BatchCoalescer, IncompatibleDomainsAndUnbatchedOperatorsStaySolo) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  cfg.queue_capacity = 8;
+  SolveService service(cfg);
+  service.register_operator("batched", batched_options(4));
+  service.register_operator("plain", small_options(4, 2));  // max_batch = 1
+
+  Gate gate;
+  SolveRequest pinned = basic_request();
+  pinned.operator_id = "plain";
+  pinned.domain.global_extent = {16, 16, 16};
+  pinned.rhs = [&](real_t x, real_t y, real_t z) {
+    gate.wait();
+    return sine_rhs(x, y, z);
+  };
+  SolveFuture running = service.submit(pinned);
+  gate.await_entered();
+
+  // Same batchable operator, different domain: not compatible.
+  SolveRequest small = basic_request();
+  small.operator_id = "batched";
+  small.domain.global_extent = {16, 16, 16};
+  SolveRequest large = small;
+  large.domain.global_extent = {32, 16, 16};
+  // max_batch = 1 operator: never coalesced even with an identical twin.
+  SolveRequest plain_a = basic_request();
+  plain_a.operator_id = "plain";
+  plain_a.domain.global_extent = {16, 16, 16};
+  SolveRequest plain_b = plain_a;
+
+  SolveFuture fs = service.submit(small);
+  SolveFuture fl = service.submit(large);
+  SolveFuture fa = service.submit(plain_a);
+  SolveFuture fb = service.submit(plain_b);
+  gate.release();
+
+  EXPECT_EQ(running.get().status, RequestStatus::kDone);
+  EXPECT_EQ(fs.get().status, RequestStatus::kDone);
+  EXPECT_EQ(fl.get().status, RequestStatus::kDone);
+  EXPECT_EQ(fa.get().status, RequestStatus::kDone);
+  EXPECT_EQ(fb.get().status, RequestStatus::kDone);
+  EXPECT_EQ(service.stats().batch_solves, 0u);
+}
+
+TEST(BatchCoalescer, QueueSideCancelAndDeadlineDropMembersIndividually) {
+  ServeConfig cfg;
+  cfg.executors = 1;
+  cfg.queue_capacity = 8;
+  SolveService service(cfg);
+  service.register_operator("poisson", batched_options(4));
+
+  Gate gate;
+  SolveRequest pinned = basic_request();
+  pinned.domain.global_extent = {16, 16, 16};
+  pinned.rhs = [&](real_t x, real_t y, real_t z) {
+    gate.wait();
+    return sine_rhs(x, y, z);
+  };
+  SolveFuture running = service.submit(pinned);
+  gate.await_entered();
+
+  SolveRequest base = basic_request();
+  base.domain.global_extent = {16, 16, 16};
+  SolveFuture keeper = service.submit(base);
+  SolveRequest doomed = base;
+  SolveFuture cancelled = service.submit(doomed);
+  SolveRequest hurried = base;
+  hurried.deadline_seconds = 0.01;
+  SolveFuture expired = service.submit(hurried);
+
+  cancelled.cancel();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // deadline
+  gate.release();
+
+  EXPECT_EQ(running.get().status, RequestStatus::kDone);
+  EXPECT_EQ(keeper.get().status, RequestStatus::kDone);
+  EXPECT_EQ(cancelled.get().status, RequestStatus::kCancelled);
+  EXPECT_EQ(expired.get().status, RequestStatus::kExpired);
+  // Two of the three coalesced members died in the queue; the batch
+  // degraded to a solo execute of the survivor.
+  EXPECT_EQ(service.stats().batch_solves, 0u);
+}
+
 TEST(SolverControl, PreCancelledControlStopsBeforeFirstCycle) {
   const CartDecomp decomp({16, 16, 16}, {1, 1, 1});
   comm::World world(1);

@@ -166,6 +166,8 @@ TEST(Wire, ResultRejectPingStatsRoundTrip) {
   e.shard_id = 1;
   e.accepted = 10;
   e.shed_overload = 3;
+  e.batch_solves = 4;
+  e.batch_requests = 13;
   e.inflight_cost = 1.5e6;
   e.cache_hit_ratio = 0.75;
   st.shards = {e, e};
@@ -175,6 +177,8 @@ TEST(Wire, ResultRejectPingStatsRoundTrip) {
   ASSERT_TRUE(decode_stats(f.payload, &st2, &err)) << err;
   ASSERT_EQ(st2.shards.size(), 2u);
   EXPECT_EQ(st2.shards[0].accepted, 10u);
+  EXPECT_EQ(st2.shards[0].batch_solves, 4u);
+  EXPECT_EQ(st2.shards[1].batch_requests, 13u);
   EXPECT_TRUE(same_bits(st2.shards[1].cache_hit_ratio, 0.75));
 }
 

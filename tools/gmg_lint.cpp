@@ -6,7 +6,8 @@
 // root); this tool enforces the handful of invariants that are
 // specific to this codebase and that no generic checker knows about:
 //
-//   1. No raw `#pragma omp parallel` in src/gmg, src/dsl or src/brick
+//   1. No raw `#pragma omp parallel` in src/gmg, src/dsl, src/brick,
+//      src/check or src/batch
 //      (`omp simd` is fine): all parallelism must go through the
 //      exec:: runtime so chunk plans stay deterministic and the
 //      src/check hazard tracker sees every launch. The two sanctioned
@@ -159,7 +160,8 @@ void check_source_file(const fs::path& root, const fs::path& file) {
   const bool in_kernel_dirs = under(file, root / "src" / "gmg") ||
                               under(file, root / "src" / "dsl") ||
                               under(file, root / "src" / "brick") ||
-                              under(file, root / "src" / "check");
+                              under(file, root / "src" / "check") ||
+                              under(file, root / "src" / "batch");
   const bool in_rng = file.filename() == "rng.hpp" &&
                       under(file, root / "src" / "common");
   const bool in_clock_wrapper =

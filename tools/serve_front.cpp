@@ -5,6 +5,7 @@
 // stops it. --smoke performs a self-contained round trip — start,
 // connect, solve one request through the socket, verify, stop — and
 // is what ci/tier1.sh runs.
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -46,6 +47,8 @@ int usage() {
       << "  --max-inflight N per-shard admission cap"
          " (env GMG_FRONT_MAX_INFLIGHT)\n"
       << "  --executors N    solve executors per shard\n"
+      << "  --max-batch K    coalesce up to K compatible queued requests\n"
+         "                   into one multi-RHS batched solve (default 1)\n"
       << "  --run-seconds S  serve for S seconds, then drain and exit\n"
       << "  --smoke          one client round trip through the socket,"
          " then exit\n";
@@ -59,10 +62,16 @@ void print_stats(const front::FrontServer& server) {
             << " spills=" << s.spills << " bad=" << s.bad_requests
             << " proto_err=" << s.protocol_errors << "\n";
   for (const auto& e : s.shards.shards) {
+    const double occupancy =
+        e.batch_solves ? static_cast<double>(e.batch_requests) /
+                             static_cast<double>(e.batch_solves)
+                       : 0.0;
     std::cout << "  shard " << e.shard_id << ": accepted=" << e.accepted
               << " completed=" << e.completed << " shed=" << e.shed_overload
               << " spilled_in=" << e.spilled_in
-              << " cache_hit=" << e.cache_hit_ratio << "\n";
+              << " cache_hit=" << e.cache_hit_ratio
+              << " batch_solves=" << e.batch_solves
+              << " batch_occupancy=" << occupancy << "\n";
   }
 }
 
@@ -73,6 +82,7 @@ int main(int argc, char** argv) {
   int tcp_port = -1;
   double run_seconds = 0;
   bool smoke = false;
+  int max_batch = 1;
   front::FrontConfig cfg = front::FrontConfig::from_env();
 
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +105,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(next("--max-inflight")));
     } else if (arg == "--executors") {
       cfg.shard.executors = std::atoi(next("--executors"));
+    } else if (arg == "--max-batch") {
+      max_batch = std::atoi(next("--max-batch"));
     } else if (arg == "--run-seconds") {
       run_seconds = std::atof(next("--run-seconds"));
     } else if (arg == "--smoke") {
@@ -111,7 +123,9 @@ int main(int argc, char** argv) {
   }
 
   front::FrontServer server(cfg);
-  server.register_operator("poisson", default_operator());
+  GmgOptions op = default_operator();
+  op.max_batch = std::max(1, max_batch);
+  server.register_operator("poisson", op);
 
   std::uint16_t bound_port = 0;
   if (!unix_path.empty()) {
