@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/options.hpp"
+#include "gmg/fused_kernels.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/metrics.hpp"
 
@@ -77,6 +78,49 @@ double measure_host_kernel(arch::Op op, index_t n, index_t bdim,
     best = std::min(best, t.elapsed());
   }
   return best;
+}
+
+FusedDescentTimes measure_fused_descent(index_t n, index_t bdim,
+                                        int repetitions) {
+  KernelFixture f(n, bdim);
+  GMG_REQUIRE(f.r.shape() == f.coarse.shape(),
+              "fused descent bench needs equal brick shapes on both levels");
+  const Box interior = Box::from_extent({n, n, n});
+  const auto run_split = [&] {
+    smooth_residual(f.x, f.r, f.Ax, f.b, f.gamma, interior);
+    restriction(f.coarse, f.r);
+  };
+  const auto run_fused = [&] {
+    fused::smooth_residual_restrict(f.x, f.r, f.coarse, f.Ax, f.b, f.gamma,
+                                    interior);
+  };
+  // Warm up both paths, then interleave the timed passes so neither
+  // schedule systematically sees a warmer cache.
+  run_split();
+  run_fused();
+  FusedDescentTimes out;
+  out.split_smooth_residual = 1e30;
+  out.split_restriction = 1e30;
+  out.fused = 1e30;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    {
+      Timer t;
+      smooth_residual(f.x, f.r, f.Ax, f.b, f.gamma, interior);
+      out.split_smooth_residual = std::min(out.split_smooth_residual,
+                                           t.elapsed());
+    }
+    {
+      Timer t;
+      restriction(f.coarse, f.r);
+      out.split_restriction = std::min(out.split_restriction, t.elapsed());
+    }
+    {
+      Timer t;
+      run_fused();
+      out.fused = std::min(out.fused, t.elapsed());
+    }
+  }
+  return out;
 }
 
 arch::ArchSpec calibrated_host(index_t n) {

@@ -30,6 +30,19 @@ inline void note(const std::string& text) { std::cout << text << "\n"; }
 double measure_host_kernel(arch::Op op, index_t n, index_t bdim,
                            int repetitions = 3);
 
+/// Best-of-k wall times for the fused descent tail (DESIGN.md §16) vs
+/// its split stages on the live host: smooth+residual and restriction
+/// as two passes, and the fused smooth+residual+restriction as one.
+/// Same fields, same interior, interleaved best-of passes.
+struct FusedDescentTimes {
+  double split_smooth_residual = 0;
+  double split_restriction = 0;
+  double fused = 0;
+  double split_sum() const { return split_smooth_residual + split_restriction; }
+};
+FusedDescentTimes measure_fused_descent(index_t n, index_t bdim,
+                                        int repetitions = 3);
+
 /// The host ArchSpec with its per-kernel efficiencies filled from live
 /// measurements:
 ///   frac_roofline[op]        = achieved bandwidth / STREAM bandwidth

@@ -69,15 +69,19 @@ void modeled_fig3() {
   }
 }
 
-void measured_host_run() {
+/// One live validation run; returns rank 0's per-(level, phase) wall
+/// totals so the fused-vs-split comparison below can contrast the
+/// descent stages directly.
+perf::Profiler measured_host_run(bool fuse_stages) {
   bench::section(
-      "Fig. 3 validation — live 8-rank run of the same schedule on the "
-      "host (32^3/rank, 3 levels, artifact-format profile of rank 0)");
+      std::string("Fig. 3 validation — live 8-rank run of the same "
+                  "schedule on the host (32^3/rank, 3 levels, "
+                  "artifact-format profile of rank 0), fuse_stages=") +
+      (fuse_stages ? "on" : "off"));
   const CartDecomp decomp({64, 64, 64}, {2, 2, 2});
   comm::World world(8);
   std::string report;
-  double level_seconds[8] = {0};
-  int levels_used = 0;
+  perf::Profiler prof;
   world.run([&](comm::Communicator& c) {
     GmgOptions opts;
     opts.levels = 3;
@@ -86,6 +90,7 @@ void measured_host_run() {
     opts.brick = BrickShape::cube(4);
     opts.max_vcycles = 2;
     opts.tolerance = 0;  // run exactly max_vcycles
+    opts.fuse_stages = fuse_stages;
     GmgSolver solver(opts, decomp, c.rank());
     solver.set_rhs([](real_t x, real_t y, real_t z) {
       return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
@@ -94,14 +99,38 @@ void measured_host_run() {
     solver.solve(c);
     if (c.rank() == 0) {
       report = solver.profiler().report();
-      levels_used = solver.num_levels();
-      for (int l = 0; l < solver.num_levels(); ++l)
-        level_seconds[l] = solver.profiler().level_total(l);
+      prof = solver.profiler();
     }
   });
   std::cout << report;
-  for (int l = 0; l < levels_used; ++l)
-    std::cout << "level " << l << " total: " << level_seconds[l] << " s\n";
+
+  // Per-stage wall breakdown per level (rank 0).
+  Table t({"level", "stage", "wall_s", "share"});
+  for (int l = 0; l <= prof.max_level(); ++l) {
+    for (const auto& [phase, share] : prof.level_breakdown(l)) {
+      t.row()
+          .cell(static_cast<long>(l))
+          .cell(perf::phase_name(phase))
+          .cell(prof.total(l, phase), 5)
+          .cell(share, 3);
+    }
+    std::cout << "level " << l << " total: " << prof.level_total(l)
+              << " s\n";
+  }
+  t.print();
+  return prof;
+}
+
+/// Sum of the descent-tail stage walls across levels: the phases the
+/// fused schedule collapses into one pass.
+double descent_stage_seconds(const perf::Profiler& prof) {
+  double s = 0;
+  for (int l = 0; l <= prof.max_level(); ++l) {
+    s += prof.total(l, perf::Phase::kSmoothResidual);
+    s += prof.total(l, perf::Phase::kRestriction);
+    s += prof.total(l, perf::Phase::kFusedDescent);
+  }
+  return s;
 }
 
 }  // namespace
@@ -110,7 +139,13 @@ int main(int argc, char** argv) {
   const std::string trace_out =
       bench::parse_trace_out(argc, argv, "fig3_level_times");
   modeled_fig3();
-  measured_host_run();
+  const perf::Profiler fused_prof = measured_host_run(/*fuse_stages=*/true);
+  const perf::Profiler split_prof = measured_host_run(/*fuse_stages=*/false);
+  bench::note(
+      "  descent stages (smooth+residual / restriction / fused), all "
+      "levels:\n  fused  " +
+      std::to_string(descent_stage_seconds(fused_prof)) + " s\n  split  " +
+      std::to_string(descent_stage_seconds(split_prof)) + " s");
   bench::finish_trace(trace_out);
   return 0;
 }

@@ -90,6 +90,33 @@ int main(int argc, char** argv) {
       "  is the pre-runtime `#pragma omp parallel for` dispatch. On a\n"
       "  single-core host all configs collapse to the serial fast path.");
 
+  // --- cross-stage fusion: fused descent vs the sum of its split
+  // stages (DESIGN.md §16), at the default worker count. Throughput
+  // counts the same stencil updates for both schedules (fine
+  // smooth+residual points plus coarse restriction points), so the
+  // GStencil/s ratio IS the wall-time ratio.
+  bench::section(
+      "Fused descent — one-pass smooth+residual+restriction vs the "
+      "split stages, 64^3, bricks 8^3, default workers");
+  const bench::FusedDescentTimes fd = bench::measure_fused_descent(n, bdim, 9);
+  const double descent_points =
+      static_cast<double>(n) * n * n +
+      static_cast<double>(n / 2) * (n / 2) * (n / 2);
+  const double split_gsps = descent_points / fd.split_sum() / 1e9;
+  const double fused_gsps = descent_points / fd.fused / 1e9;
+  Table ft({"schedule", "wall_s", "GStencil/s"});
+  ft.row()
+      .cell("split smooth+residual")
+      .cell(fd.split_smooth_residual, 6)
+      .cell("");
+  ft.row().cell("split restriction").cell(fd.split_restriction, 6).cell("");
+  ft.row().cell("split sum").cell(fd.split_sum(), 6).cell(split_gsps, 3);
+  ft.row().cell("fused").cell(fd.fused, 6).cell(fused_gsps, 3);
+  ft.print();
+  ft.write_csv("bench/out/micro_runtime_fused.csv");
+  bench::note("  fused/split speedup = " +
+              std::to_string(fd.split_sum() / fd.fused));
+
   std::ofstream os("BENCH_kernel_runtime.json");
   os << "{\n  \"bench\": \"micro_runtime\",\n"
      << "  \"n\": " << n << ",\n  \"brick_dim\": " << bdim << ",\n"
@@ -97,6 +124,16 @@ int main(int argc, char** argv) {
      << std::thread::hardware_concurrency() << ",\n"
      << "  \"default_workers\": " << default_workers << ",\n"
      << "  \"unit\": \"GStencil/s\",\n"
+     << "  \"fused_descent\": {\n"
+     << "    \"split_smooth_residual_s\": " << fd.split_smooth_residual
+     << ",\n"
+     << "    \"split_restriction_s\": " << fd.split_restriction << ",\n"
+     << "    \"split_sum_s\": " << fd.split_sum() << ",\n"
+     << "    \"fused_s\": " << fd.fused << ",\n"
+     << "    \"split_gstencil_per_s\": " << split_gsps << ",\n"
+     << "    \"fused_gstencil_per_s\": " << fused_gsps << ",\n"
+     << "    \"fused_over_split_speedup\": " << fd.split_sum() / fd.fused
+     << "\n  },\n"
      << "  \"configs\": [\n";
   for (std::size_t ci = 0; ci < configs.size(); ++ci) {
     const Config& cfg = configs[ci];

@@ -50,14 +50,24 @@ else
 fi
 echo "-- checker-enabled test subset (GMG_CHECK=1, label: check)"
 GMG_CHECK=1 ctest --test-dir build --output-on-failure -L check -j"${JOBS}"
+echo "-- checker-enabled test subset, fusion off (GMG_FUSE_STAGES=0)"
+GMG_FUSE_STAGES=0 GMG_CHECK=1 \
+  ctest --test-dir build --output-on-failure -L check -j"${JOBS}"
 
 # The solver must produce bitwise-identical results at any worker
 # count; run the solver suite serial and at the hardware default to
-# catch anything the in-suite determinism tests miss.
+# catch anything the in-suite determinism tests miss. The fused
+# descent (DESIGN.md §16) is on by default, so the default runs cover
+# it; the GMG_FUSE_STAGES=0 runs exercise the split schedule the fused
+# kernels must match bitwise.
 echo "== tier 1: solver suite, GMG_EXEC_WORKERS=1 =="
 GMG_EXEC_WORKERS=1 ./build/tests/test_solver
 echo "== tier 1: solver suite, default workers =="
 ./build/tests/test_solver
+echo "== tier 1: solver suite, fusion off (GMG_FUSE_STAGES=0) =="
+GMG_FUSE_STAGES=0 ./build/tests/test_solver
+echo "== tier 1: fused-kernel suite, fusion off (split fallback) =="
+GMG_FUSE_STAGES=0 ./build/tests/test_fused
 
 # Serve-layer smoke: cold vs cached request latency and client-fanout
 # throughput (writes BENCH_serve_throughput.json + bench/out CSV).
@@ -108,9 +118,9 @@ else
     -DGMG_NATIVE_ARCH=OFF >/dev/null
   cmake --build build-tsan -j"${JOBS}" \
     --target test_exec test_parallel_for test_simmpi test_exchange \
-             test_batch test_serve test_wire test_front
+             test_batch test_serve test_wire test_front test_fused
   for t in test_exec test_parallel_for test_simmpi test_exchange \
-           test_batch test_serve test_wire test_front; do
+           test_batch test_serve test_wire test_front test_fused; do
     echo "-- ${t} (tsan)"
     "./build-tsan/tests/${t}"
   done

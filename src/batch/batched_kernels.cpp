@@ -55,6 +55,84 @@ void for_each_row_b(BD, const char* name, const BrickGrid& grid,
   });
 }
 
+/// 8->1 full weighting of ONE fine brick (all K components) into its
+/// coarse octant — batched restriction()'s per-brick body verbatim
+/// (same row pointers, same 0.125 * 8-term summation order), so fused
+/// coarse RHS values are bitwise identical to the split pass. `bc` is
+/// the fine brick's grid coordinate; `fb` points at its stretched
+/// (freshly written) residual.
+template <typename BD>
+inline void restrict_brick_b(index_t K, const Vec3& bc, const BrickGrid& cg,
+                             const real_t* __restrict fb,
+                             real_t* __restrict cp) {
+  const index_t bx = bc.x, by = bc.y, bz = bc.z;
+  const std::int32_t cid = cg.storage_id({bx / 2, by / 2, bz / 2});
+  GMG_ASSERT(cid >= 0);
+  const index_t ox = (bx % 2) * (BD::bx / 2);
+  const index_t oy = (by % 2) * (BD::by / 2);
+  const index_t oz = (bz % 2) * (BD::bz / 2);
+  const std::size_t bvol =
+      static_cast<std::size_t>(BD::volume) * static_cast<std::size_t>(K);
+  real_t* cb = cp + static_cast<std::size_t>(cid) * bvol;
+  for (index_t lk = 0; lk < BD::bz; lk += 2) {
+    for (index_t lj = 0; lj < BD::by; lj += 2) {
+      const real_t* r0 = fb + (lk * BD::by + lj) * BD::bx * K;
+      const real_t* r1 = r0 + BD::bx * K;           // j+1
+      const real_t* r2 = r0 + BD::by * BD::bx * K;  // k+1
+      const real_t* r3 = r2 + BD::bx * K;           // j+1, k+1
+      real_t* crow =
+          cb + (((oz + lk / 2) * BD::by + (oy + lj / 2)) * BD::bx + ox) * K;
+      for (index_t li = 0; li < BD::bx / 2; ++li) {
+        const index_t f = 2 * li * K;
+#pragma omp simd
+        for (index_t c = 0; c < K; ++c) {
+          crow[li * K + c] =
+              0.125 * (r0[f + c] + r0[f + K + c] + r1[f + c] + r1[f + K + c] +
+                       r2[f + c] + r2[f + K + c] + r3[f + c] + r3[f + K + c]);
+        }
+      }
+    }
+  }
+}
+
+/// The batched twin of gmg::fused's descent_pass: one pass over the
+/// bricks of `active` running `pointwise(base_row_offset, ilo, ihi)`
+/// on every BASE row (chunked exactly as for_each_row_b), plus the
+/// 8->1 restriction of each INTERIOR brick's just-written residual.
+/// Interior bricks are always in the plan's full prefix because
+/// `active` covers the interior; clipped items are ghost-shell bricks.
+template <typename BD, typename PointwiseRow>
+void descent_pass_b(BD, const char* name, const BrickGrid& fg,
+                    const BrickGrid& cg, index_t K,
+                    const real_t* __restrict rp, real_t* __restrict cp,
+                    const Box& active, PointwiseRow&& pointwise) {
+  const std::int64_t ni = fg.num_interior();
+  const std::size_t bvol =
+      static_cast<std::size_t>(BD::volume) * static_cast<std::size_t>(K);
+  const auto plan = fg.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
+  for_each_plan_brick<BD>(name, *plan, [&](const BrickPlanItem& it,
+                                           auto full) {
+    const std::size_t base = static_cast<std::size_t>(it.id) * BD::volume;
+    if constexpr (decltype(full)::value) {
+      pointwise(base, index_t{0}, static_cast<index_t>(BD::volume));
+      if (it.id < ni) {
+        restrict_brick_b<BD>(K, it.coord, cg,
+                             rp + static_cast<std::size_t>(it.id) * bvol, cp);
+      }
+    } else {
+      GMG_ASSERT(it.id >= ni);
+      for (index_t lk = it.klo; lk < it.khi; ++lk) {
+        for (index_t lj = it.jlo; lj < it.jhi; ++lj) {
+          pointwise(base +
+                        static_cast<std::size_t>((lk * BD::by + lj) * BD::bx),
+                    static_cast<index_t>(it.ilo),
+                    static_cast<index_t>(it.ihi));
+        }
+      }
+    }
+  });
+}
+
 /// Tap cover check in BASE bricks (ghost depth is one base brick on the
 /// stretched storage exactly as on solo storage).
 template <typename BD>
@@ -82,6 +160,22 @@ void require_compatible(const BatchedBrickedArray& a,
   GMG_REQUIRE(&a.grid() == &b.grid(), "fields must share a brick grid");
   GMG_REQUIRE(a.batch() == b.batch() && a.base_shape() == b.base_shape(),
               "fields must share batch size and base brick shape");
+}
+
+/// Shared argument checks for the fused descent kernels (stretched
+/// extents in x, BASE `active` coordinates).
+void require_descent_args_b(const BatchedBrickedArray& r,
+                            const BatchedBrickedArray& coarse_b,
+                            const Box& active) {
+  const Vec3 fe = r.inner().extent(), ce = coarse_b.inner().extent();
+  GMG_REQUIRE(fe.x == 2 * ce.x && fe.y == 2 * ce.y && fe.z == 2 * ce.z,
+              "fine extent must be twice the coarse extent");
+  GMG_REQUIRE(r.base_shape() == coarse_b.base_shape() &&
+                  r.batch() == coarse_b.batch(),
+              "fused restriction assumes equal base shapes and batch sizes");
+  const index_t K = static_cast<index_t>(r.batch());
+  GMG_REQUIRE(active.covers(Box::from_extent({fe.x / K, fe.y, fe.z})),
+              "fused descent sweep must cover the fine interior");
 }
 
 /// 64-byte-aligned per-thread gather scratch for the '+'-reductions.
@@ -360,6 +454,159 @@ void restriction(BatchedBrickedArray& coarse, const BatchedBrickedArray& fine) {
                 }
               }
             }
+          }
+        });
+  });
+}
+
+void smooth_residual_restrict(BatchedBrickedArray& x, BatchedBrickedArray& r,
+                              BatchedBrickedArray& coarse_b,
+                              const BatchedBrickedArray& Ax,
+                              const BatchedBrickedArray& b, real_t gamma,
+                              const Box& active) {
+  require_compatible(x, r);
+  require_compatible(x, Ax);
+  require_compatible(x, b);
+  require_descent_args_b(r, coarse_b, active);
+  trace::TraceSpan span("kernel.smoothResidualRestrict");
+  count_flops(batch_points(active, x), 4);
+  const Vec3 ce = coarse_b.inner().extent();
+  count_flops(static_cast<std::uint64_t>(ce.x) * ce.y * ce.z, 8);
+  // r appears in both lists: the restriction stage reads the residual
+  // the pointwise stage just wrote (same-brick read-after-write,
+  // ordered within one chunk).
+  const auto scope = check::scope_if_enabled(
+      "kernel.smoothResidualRestrict",
+      {check::access(x.inner(), stretch_box(active, x.batch())),
+       check::access(r.inner(), stretch_box(active, x.batch())),
+       check::access(coarse_b.inner(), Box::from_extent(ce))},
+      {check::access(Ax.inner(), stretch_box(active, x.batch())),
+       check::access(b.inner(), stretch_box(active, x.batch())),
+       check::access(r.inner(), Box::from_extent(r.inner().extent()))});
+  with_brick_dims(x.base_shape(), [&](auto bd) {
+    using BD = decltype(bd);
+    static_assert(BD::bx % 2 == 0 && BD::by % 2 == 0 && BD::bz % 2 == 0);
+    const index_t K = static_cast<index_t>(x.batch());
+    real_t* __restrict xp = x.data();
+    real_t* __restrict rp = r.data();
+    real_t* __restrict cp = coarse_b.data();
+    const real_t* __restrict axp = Ax.data();
+    const real_t* __restrict bp = b.data();
+    descent_pass_b(bd, "kernel.smoothResidualRestrict", x.grid(),
+                   coarse_b.grid(), K, rp, cp, active,
+                   [&](std::size_t o, index_t ilo, index_t ihi) {
+                     const std::size_t ob = o * static_cast<std::size_t>(K);
+#pragma omp simd
+                     for (index_t s = ilo * K; s < ihi * K; ++s) {
+                       const real_t ax = axp[ob + s];
+                       const real_t rhs = bp[ob + s];
+                       rp[ob + s] = rhs - ax;
+                       xp[ob + s] += gamma * (ax - rhs);
+                     }
+                   });
+  });
+}
+
+void smooth_residual_restrict_varcoef(
+    BatchedBrickedArray& x, BatchedBrickedArray& r,
+    BatchedBrickedArray& coarse_b, const BatchedBrickedArray& Ax,
+    const BatchedBrickedArray& b, const BrickedArray& diag, real_t omega,
+    const Box& active) {
+  require_compatible(x, r);
+  require_compatible(x, Ax);
+  require_compatible(x, b);
+  require_descent_args_b(r, coarse_b, active);
+  trace::TraceSpan span("kernel.smoothResidualRestrictVarCoef");
+  count_flops(batch_points(active, x), 6);
+  const Vec3 ce = coarse_b.inner().extent();
+  count_flops(static_cast<std::uint64_t>(ce.x) * ce.y * ce.z, 8);
+  const auto scope = check::scope_if_enabled(
+      "kernel.smoothResidualRestrictVarCoef",
+      {check::access(x.inner(), stretch_box(active, x.batch())),
+       check::access(r.inner(), stretch_box(active, x.batch())),
+       check::access(coarse_b.inner(), Box::from_extent(ce))},
+      {check::access(Ax.inner(), stretch_box(active, x.batch())),
+       check::access(b.inner(), stretch_box(active, x.batch())),
+       check::access(diag, active),
+       check::access(r.inner(), Box::from_extent(r.inner().extent()))});
+  with_brick_dims(x.base_shape(), [&](auto bd) {
+    using BD = decltype(bd);
+    static_assert(BD::bx % 2 == 0 && BD::by % 2 == 0 && BD::bz % 2 == 0);
+    const index_t K = static_cast<index_t>(x.batch());
+    real_t* __restrict xp = x.data();
+    real_t* __restrict rp = r.data();
+    real_t* __restrict cp = coarse_b.data();
+    const real_t* __restrict axp = Ax.data();
+    const real_t* __restrict bp = b.data();
+    const real_t* __restrict dp = diag.data();
+    descent_pass_b(bd, "kernel.smoothResidualRestrictVarCoef", x.grid(),
+                   coarse_b.grid(), K, rp, cp, active,
+                   [&](std::size_t o, index_t ilo, index_t ihi) {
+                     for (index_t i = ilo; i < ihi; ++i) {
+                       const real_t g = -omega / dp[o + i];
+                       const std::size_t e =
+                           (o + i) * static_cast<std::size_t>(K);
+                       for (index_t c = 0; c < K; ++c) {
+                         const real_t ax = axp[e + c];
+                         const real_t rhs = bp[e + c];
+                         rp[e + c] = rhs - ax;
+                         xp[e + c] += g * (ax - rhs);
+                       }
+                     }
+                   });
+  });
+}
+
+void residual_restrict(BatchedBrickedArray& r, BatchedBrickedArray& coarse_b,
+                       const BatchedBrickedArray& b,
+                       const BatchedBrickedArray& Ax) {
+  require_compatible(r, b);
+  require_compatible(r, Ax);
+  const Vec3 fe = r.inner().extent(), ce = coarse_b.inner().extent();
+  GMG_REQUIRE(fe.x == 2 * ce.x && fe.y == 2 * ce.y && fe.z == 2 * ce.z,
+              "fine extent must be twice the coarse extent");
+  GMG_REQUIRE(r.base_shape() == coarse_b.base_shape() &&
+                  r.batch() == coarse_b.batch(),
+              "fused restriction assumes equal base shapes and batch sizes");
+  trace::TraceSpan span("kernel.residualRestrict");
+  count_flops(static_cast<std::uint64_t>(fe.x) * fe.y * fe.z, 1);
+  count_flops(static_cast<std::uint64_t>(ce.x) * ce.y * ce.z, 8);
+  const auto scope = check::scope_if_enabled(
+      "kernel.residualRestrict",
+      {check::access(r.inner(), Box::from_extent(fe)),
+       check::access(coarse_b.inner(), Box::from_extent(ce))},
+      {check::access(b.inner(), Box::from_extent(fe)),
+       check::access(Ax.inner(), Box::from_extent(fe)),
+       check::access(r.inner(), Box::from_extent(fe))});
+  with_brick_dims(r.base_shape(), [&](auto bd) {
+    using BD = decltype(bd);
+    static_assert(BD::bx % 2 == 0 && BD::by % 2 == 0 && BD::bz % 2 == 0);
+    const index_t K = static_cast<index_t>(r.batch());
+    const std::size_t bvol =
+        static_cast<std::size_t>(BD::volume) * static_cast<std::size_t>(K);
+    const BrickGrid& fg = r.grid();
+    const BrickGrid& cg = coarse_b.grid();
+    real_t* __restrict rp = r.data();
+    real_t* __restrict cp = coarse_b.data();
+    const real_t* __restrict bp = b.data();
+    const real_t* __restrict axp = Ax.data();
+    // Interior fine bricks are ids [0, num_interior): per brick, the
+    // flat stretched residual rows then the octant copy from the
+    // residual still in cache. Race-free under any chunking (disjoint
+    // r bricks, disjoint coarse octants).
+    exec::parallel_for(
+        "kernel.residualRestrict", fg.num_interior(),
+        exec::brick_grain(BD::volume), [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t fid = lo; fid < hi; ++fid) {
+            const std::size_t base = static_cast<std::size_t>(fid) * bvol;
+            const index_t n = static_cast<index_t>(BD::volume) * K;
+#pragma omp simd
+            for (index_t s = 0; s < n; ++s) {
+              rp[base + s] = bp[base + s] - axp[base + s];
+            }
+            restrict_brick_b<BD>(K,
+                                 fg.coord_of(static_cast<std::int32_t>(fid)),
+                                 cg, rp + base, cp);
           }
         });
   });

@@ -41,6 +41,35 @@ void residual(BatchedBrickedArray& r, const BatchedBrickedArray& b,
 /// interiors; equal base brick shapes and batch sizes.
 void restriction(BatchedBrickedArray& coarse, const BatchedBrickedArray& fine);
 
+// Fused descent kernels — the K-inner twins of gmg::fused (DESIGN.md
+// §16): one pass per fine brick covers the final smoother update, the
+// residual, and the 8->1 coarse contribution for all K components.
+// Same bitwise contract as the split twins above: identical per-cell,
+// per-component expressions and summation order, so fused batched ==
+// split batched == K solo runs.
+
+/// Fused final Jacobi sweep + restriction of the just-written residual
+/// (interior fine bricks) into `coarse_b`. `active` must cover the
+/// fine interior.
+void smooth_residual_restrict(BatchedBrickedArray& x, BatchedBrickedArray& r,
+                              BatchedBrickedArray& coarse_b,
+                              const BatchedBrickedArray& Ax,
+                              const BatchedBrickedArray& b, real_t gamma,
+                              const Box& active);
+
+/// Variable-coefficient twin (diag shared across the batch).
+void smooth_residual_restrict_varcoef(
+    BatchedBrickedArray& x, BatchedBrickedArray& r,
+    BatchedBrickedArray& coarse_b, const BatchedBrickedArray& Ax,
+    const BatchedBrickedArray& b, const BrickedArray& diag, real_t omega,
+    const Box& active);
+
+/// Fused GS descent tail: r = b - Ax over the full interior plus the
+/// per-brick restriction into `coarse_b`, one pass per fine brick.
+void residual_restrict(BatchedBrickedArray& r, BatchedBrickedArray& coarse_b,
+                       const BatchedBrickedArray& b,
+                       const BatchedBrickedArray& Ax);
+
 /// fine += piecewise-constant coarse correction, per component.
 void interpolation_increment(BatchedBrickedArray& fine,
                              const BatchedBrickedArray& coarse);

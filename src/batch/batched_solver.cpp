@@ -223,26 +223,29 @@ void BatchedSolver::finish_exchange_overlapped(
 }
 
 void BatchedSolver::smooth_level(comm::Communicator& comm, int l,
-                                 int iterations, bool with_residual) {
+                                 int iterations, bool with_residual,
+                                 BatchedBrickedArray* restrict_to) {
+  // The smoother choice and the per-smoother fusion capability both
+  // come from the base level's KernelPlan (resolved once at setup by
+  // the solo specializer) — the batched path makes no fusion decision
+  // of its own.
   switch (base_.options().smoother) {
     case Smoother::kPointJacobi:
-      jacobi_sweeps(comm, l, iterations, with_residual, 0.5);
-      break;
     case Smoother::kWeightedJacobi:
-      jacobi_sweeps(comm, l, iterations, with_residual,
-                    base_.options().jacobi_weight);
+      jacobi_sweeps(comm, l, iterations, with_residual, restrict_to);
       break;
     case Smoother::kChebyshev:
-      chebyshev_sweeps(comm, l, iterations, with_residual);
+      chebyshev_sweeps(comm, l, iterations, with_residual, restrict_to);
       break;
     case Smoother::kRedBlackGS:
-      gs_sweeps(comm, l, iterations, with_residual);
+      gs_sweeps(comm, l, iterations, with_residual, restrict_to);
       break;
   }
 }
 
 void BatchedSolver::gs_sweeps(comm::Communicator& comm, int l, int iterations,
-                              bool with_residual) {
+                              bool with_residual,
+                              BatchedBrickedArray* restrict_to) {
   const MgLevel& lev = base_level(l);
   BatchLevel& bl = levels_[static_cast<std::size_t>(l)];
   GMG_REQUIRE(lev.radius == 1 && !lev.varcoef,
@@ -308,17 +311,22 @@ void BatchedSolver::gs_sweeps(comm::Communicator& comm, int l, int iterations,
     } else {
       apply_operator(lev, bl.Ax, bl.x, interior);
     }
-    residual(bl.r, bl.b, bl.Ax, interior);
+    if (restrict_to != nullptr && lev.plan.fuse_gs_tail) {
+      residual_restrict(bl.r, *restrict_to, bl.b, bl.Ax);
+    } else {
+      residual(bl.r, bl.b, bl.Ax, interior);
+    }
   }
 }
 
 void BatchedSolver::jacobi_sweeps(comm::Communicator& comm, int l,
                                   int iterations, bool with_residual,
-                                  real_t weight) {
+                                  BatchedBrickedArray* restrict_to) {
   const MgLevel& lev = base_level(l);
   BatchLevel& bl = levels_[static_cast<std::size_t>(l)];
   const GmgOptions& opts = base_.options();
   const Box interior = lev.interior();
+  const real_t weight = lev.plan.weight;
   const real_t gamma = -weight / lev.alpha;
   const index_t radius = lev.radius;
   for (int it = 0; it < iterations; ++it) {
@@ -348,7 +356,17 @@ void BatchedSolver::jacobi_sweeps(comm::Communicator& comm, int l,
     } else {
       apply_operator(lev, bl.Ax, bl.x, active);
     }
-    if (with_residual) {
+    const bool fuse_final = with_residual && restrict_to != nullptr &&
+                            lev.plan.fuse_descent && it == iterations - 1;
+    if (fuse_final) {
+      if (lev.varcoef) {
+        smooth_residual_restrict_varcoef(bl.x, bl.r, *restrict_to, bl.Ax,
+                                         bl.b, lev.diag, weight, active);
+      } else {
+        smooth_residual_restrict(bl.x, bl.r, *restrict_to, bl.Ax, bl.b,
+                                 gamma, active);
+      }
+    } else if (with_residual) {
       if (lev.varcoef) {
         smooth_residual_varcoef(bl.x, bl.r, bl.Ax, bl.b, lev.diag, weight,
                                 active);
@@ -367,8 +385,11 @@ void BatchedSolver::jacobi_sweeps(comm::Communicator& comm, int l,
 }
 
 void BatchedSolver::chebyshev_sweeps(comm::Communicator& comm, int l,
-                                     int iterations, bool with_residual) {
+                                     int iterations, bool with_residual,
+                                     BatchedBrickedArray* restrict_to) {
   (void)with_residual;  // r = b - Ax is produced every sweep anyway
+  (void)restrict_to;    // split fallback: the recurrence consumes r
+                        // every sweep, so the caller restricts
   const MgLevel& lev = base_level(l);
   BatchLevel& bl = levels_[static_cast<std::size_t>(l)];
   const GmgOptions& opts = base_.options();
@@ -505,8 +526,13 @@ void BatchedSolver::cycle_at(comm::Communicator& comm, int l) {
   BatchLevel& bl = levels_[static_cast<std::size_t>(l)];
   BatchLevel& coarse = levels_[static_cast<std::size_t>(l + 1)];
 
-  smooth_level(comm, l, opts.smooths, /*with_residual=*/true);
-  restriction(coarse.b, bl.r);
+  // Same fused-descent wiring as the solo cycle_at: when the base
+  // level's plan fuses the restriction, the smoother's final sweep
+  // writes coarse.b directly and the split pass disappears.
+  BatchedBrickedArray* restrict_to =
+      base_level(l).plan.fuses_restriction() ? &coarse.b : nullptr;
+  smooth_level(comm, l, opts.smooths, /*with_residual=*/true, restrict_to);
+  if (restrict_to == nullptr) restriction(coarse.b, bl.r);
   coarse.b_ghosts_valid = false;
   init_zero(coarse.x);
   coarse.margin = base_level(l + 1).shape.bx;  // zero ghosts are valid
@@ -539,6 +565,10 @@ void BatchedSolver::residual_norms(comm::Communicator& comm,
     if (bl.margin < lev.radius) exchange_for_smooth(comm, 0);
     apply_operator(lev, bl.Ax, bl.x, interior);
   }
+  // Stays split (no fused residual+max-norm here): the reduction is
+  // per-component with retirement masking, so one residual pass feeds
+  // up to K separate strided reduces — and the split pair is value-
+  // identical to the solo fused kernel anyway.
   residual(bl.r, bl.b, bl.Ax, interior);
   // Retired components are skipped consistently on every rank (their
   // retirement derived from allreduced values), keeping the collective

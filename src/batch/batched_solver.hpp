@@ -108,14 +108,19 @@ class BatchedSolver {
   void apply_operator(const MgLevel& lev, BatchedBrickedArray& out,
                       const BatchedBrickedArray& in, const Box& active);
 
+  /// Smoother sweeps; a non-null `restrict_to` asks the final descent
+  /// sweep to also restrict the fresh residual into that coarse RHS
+  /// (honored when the base level's KernelPlan fuses — same
+  /// capability rules as the solo smooth_level).
   void smooth_level(comm::Communicator& comm, int l, int iterations,
-                    bool with_residual);
+                    bool with_residual,
+                    BatchedBrickedArray* restrict_to = nullptr);
   void jacobi_sweeps(comm::Communicator& comm, int l, int iterations,
-                     bool with_residual, real_t weight);
+                     bool with_residual, BatchedBrickedArray* restrict_to);
   void chebyshev_sweeps(comm::Communicator& comm, int l, int iterations,
-                        bool with_residual);
+                        bool with_residual, BatchedBrickedArray* restrict_to);
   void gs_sweeps(comm::Communicator& comm, int l, int iterations,
-                 bool with_residual);
+                 bool with_residual, BatchedBrickedArray* restrict_to);
   void bottom_solve(comm::Communicator& comm);
   void bottom_cg(comm::Communicator& comm, int l);
   void cycle_at(comm::Communicator& comm, int l);

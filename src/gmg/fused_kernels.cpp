@@ -1,0 +1,281 @@
+#include "gmg/fused_kernels.hpp"
+
+#include <cmath>
+
+#include "brick/brick_plan.hpp"
+#include "check/shadow.hpp"
+#include "exec/runtime.hpp"
+#include "trace/trace.hpp"
+
+namespace gmg::fused {
+
+namespace {
+
+inline void count_flops(std::uint64_t pts, std::uint64_t flops_per_pt) {
+  trace::counter_add("gmg.flops", pts * flops_per_pt);
+}
+
+inline std::uint64_t box_points(const Box& b) {
+  return static_cast<std::uint64_t>(b.volume());
+}
+
+/// 8->1 full weighting of ONE fine brick into its coarse octant — the
+/// split restriction()'s per-brick body verbatim (same row pointers,
+/// same 0.125 * 8-term summation order), so fused coarse RHS values
+/// are bitwise identical to the split pass. `bc` is the fine brick's
+/// grid coordinate; `fb` points at its (freshly written) residual.
+template <typename BD>
+inline void restrict_brick(const Vec3& bc, const BrickGrid& cg,
+                           const real_t* __restrict fb,
+                           real_t* __restrict cp) {
+  const index_t bx = bc.x, by = bc.y, bz = bc.z;
+  const std::int32_t cid = cg.storage_id({bx / 2, by / 2, bz / 2});
+  GMG_ASSERT(cid >= 0);
+  // In-coarse-brick base offset of this fine brick's image.
+  const index_t ox = (bx % 2) * (BD::bx / 2);
+  const index_t oy = (by % 2) * (BD::by / 2);
+  const index_t oz = (bz % 2) * (BD::bz / 2);
+  real_t* cb = cp + static_cast<std::size_t>(cid) * BD::volume;
+  for (index_t lk = 0; lk < BD::bz; lk += 2) {
+    for (index_t lj = 0; lj < BD::by; lj += 2) {
+      const real_t* r0 = fb + (lk * BD::by + lj) * BD::bx;
+      const real_t* r1 = r0 + BD::bx;           // j+1
+      const real_t* r2 = r0 + BD::by * BD::bx;  // k+1
+      const real_t* r3 = r2 + BD::bx;           // j+1, k+1
+      real_t* crow = cb +
+                     ((oz + lk / 2) * BD::by + (oy + lj / 2)) * BD::bx + ox;
+#pragma omp simd
+      for (index_t li = 0; li < BD::bx / 2; ++li) {
+        const index_t f = 2 * li;
+        crow[li] = 0.125 * (r0[f] + r0[f + 1] + r1[f] + r1[f + 1] + r2[f] +
+                            r2[f + 1] + r3[f] + r3[f + 1]);
+      }
+    }
+  }
+}
+
+/// One pass over the bricks of `active`: run `pointwise(o, ilo, ihi)`
+/// on every row (exactly as for_each_row chunks them — full bricks
+/// collapse to one whole-brick call), and restrict each INTERIOR
+/// brick's just-written residual into the coarse grid. Interior bricks
+/// are always in the plan's full prefix here because `active` covers
+/// the interior; clipped items are ghost-shell bricks, which
+/// contribute no restriction.
+template <typename BD, typename PointwiseRow>
+void descent_pass(BD, const char* name, const BrickGrid& fg,
+                  const BrickGrid& cg, const real_t* __restrict rp,
+                  real_t* __restrict cp, const Box& active,
+                  PointwiseRow&& pointwise) {
+  const std::int64_t ni = fg.num_interior();
+  const auto plan = fg.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
+  for_each_plan_brick<BD>(name, *plan, [&](const BrickPlanItem& it,
+                                           auto full) {
+    const std::size_t base = static_cast<std::size_t>(it.id) * BD::volume;
+    if constexpr (decltype(full)::value) {
+      pointwise(base, index_t{0}, static_cast<index_t>(BD::volume));
+      if (it.id < ni) restrict_brick<BD>(it.coord, cg, rp + base, cp);
+    } else {
+      GMG_ASSERT(it.id >= ni);
+      for (index_t lk = it.klo; lk < it.khi; ++lk) {
+        for (index_t lj = it.jlo; lj < it.jhi; ++lj) {
+          pointwise(base +
+                        static_cast<std::size_t>((lk * BD::by + lj) * BD::bx),
+                    static_cast<index_t>(it.ilo),
+                    static_cast<index_t>(it.ihi));
+        }
+      }
+    }
+  });
+}
+
+/// Shared argument checks for the fused descent kernels.
+void require_descent_args(const BrickedArray& r, const BrickedArray& coarse_b,
+                          const Box& active) {
+  const Vec3 fe = r.extent(), ce = coarse_b.extent();
+  GMG_REQUIRE(fe.x == 2 * ce.x && fe.y == 2 * ce.y && fe.z == 2 * ce.z,
+              "fine extent must be twice the coarse extent");
+  GMG_REQUIRE(r.shape() == coarse_b.shape(),
+              "fused restriction assumes equal brick shapes on both levels");
+  GMG_REQUIRE(active.covers(Box::from_extent(fe)),
+              "fused descent sweep must cover the fine interior");
+}
+
+}  // namespace
+
+void require_fused_fits(const BrickShape& shape) {
+  check::require_footprint_fits("fused smooth+residual+restriction",
+                                descent_footprint().extents(), shape);
+  GMG_REQUIRE(shape.bx % 2 == 0 && shape.by % 2 == 0 && shape.bz % 2 == 0,
+              "fused smooth+residual+restriction needs even brick dims "
+              "(per-brick 8->1 octant restriction)");
+}
+
+void smooth_residual_restrict(BrickedArray& x, BrickedArray& r,
+                              BrickedArray& coarse_b, const BrickedArray& Ax,
+                              const BrickedArray& b, real_t gamma,
+                              const Box& active) {
+  require_descent_args(r, coarse_b, active);
+  trace::TraceSpan span("kernel.smoothResidualRestrict");
+  count_flops(box_points(active), 4);
+  count_flops(static_cast<std::uint64_t>(coarse_b.extent().x) *
+                  coarse_b.extent().y * coarse_b.extent().z,
+              8);
+  // r appears in both lists: this scope's own restriction stage reads
+  // the residual the pointwise stage just wrote (same-brick
+  // read-after-write, ordered within one chunk); cross-scope hazard
+  // tracking still sees the full write set.
+  const auto scope = check::scope_if_enabled(
+      "kernel.smoothResidualRestrict",
+      {check::access(x, active), check::access(r, active),
+       check::access(coarse_b, Box::from_extent(coarse_b.extent()))},
+      {check::access(Ax, active), check::access(b, active),
+       check::access(r, Box::from_extent(r.extent()))});
+  with_brick_dims(x.shape(), [&](auto bd) {
+    using BD = decltype(bd);
+    static_assert(BD::bx % 2 == 0 && BD::by % 2 == 0 && BD::bz % 2 == 0);
+    real_t* __restrict xp = x.data();
+    real_t* __restrict rp = r.data();
+    real_t* __restrict cp = coarse_b.data();
+    const real_t* __restrict axp = Ax.data();
+    const real_t* __restrict bp = b.data();
+    descent_pass(bd, "kernel.smoothResidualRestrict", x.grid(),
+                 coarse_b.grid(), rp, cp, active,
+                 [&](std::size_t o, index_t ilo, index_t ihi) {
+#pragma omp simd
+                   for (index_t i = ilo; i < ihi; ++i) {
+                     const real_t ax = axp[o + i];
+                     const real_t rhs = bp[o + i];
+                     rp[o + i] = rhs - ax;
+                     xp[o + i] += gamma * (ax - rhs);
+                   }
+                 });
+  });
+}
+
+void smooth_residual_restrict_varcoef(BrickedArray& x, BrickedArray& r,
+                                      BrickedArray& coarse_b,
+                                      const BrickedArray& Ax,
+                                      const BrickedArray& b,
+                                      const BrickedArray& diag, real_t omega,
+                                      const Box& active) {
+  require_descent_args(r, coarse_b, active);
+  trace::TraceSpan span("kernel.smoothResidualRestrictVarCoef");
+  count_flops(box_points(active), 6);
+  count_flops(static_cast<std::uint64_t>(coarse_b.extent().x) *
+                  coarse_b.extent().y * coarse_b.extent().z,
+              8);
+  const auto scope = check::scope_if_enabled(
+      "kernel.smoothResidualRestrictVarCoef",
+      {check::access(x, active), check::access(r, active),
+       check::access(coarse_b, Box::from_extent(coarse_b.extent()))},
+      {check::access(Ax, active), check::access(b, active),
+       check::access(diag, active),
+       check::access(r, Box::from_extent(r.extent()))});
+  with_brick_dims(x.shape(), [&](auto bd) {
+    using BD = decltype(bd);
+    static_assert(BD::bx % 2 == 0 && BD::by % 2 == 0 && BD::bz % 2 == 0);
+    real_t* __restrict xp = x.data();
+    real_t* __restrict rp = r.data();
+    real_t* __restrict cp = coarse_b.data();
+    const real_t* __restrict axp = Ax.data();
+    const real_t* __restrict bp = b.data();
+    const real_t* __restrict dp = diag.data();
+    descent_pass(bd, "kernel.smoothResidualRestrictVarCoef", x.grid(),
+                 coarse_b.grid(), rp, cp, active,
+                 [&](std::size_t o, index_t ilo, index_t ihi) {
+#pragma omp simd
+                   for (index_t i = ilo; i < ihi; ++i) {
+                     const real_t ax = axp[o + i];
+                     const real_t rhs = bp[o + i];
+                     rp[o + i] = rhs - ax;
+                     xp[o + i] += (-omega / dp[o + i]) * (ax - rhs);
+                   }
+                 });
+  });
+}
+
+void residual_restrict(BrickedArray& r, BrickedArray& coarse_b,
+                       const BrickedArray& b, const BrickedArray& Ax) {
+  const Vec3 fe = r.extent(), ce = coarse_b.extent();
+  GMG_REQUIRE(fe.x == 2 * ce.x && fe.y == 2 * ce.y && fe.z == 2 * ce.z,
+              "fine extent must be twice the coarse extent");
+  GMG_REQUIRE(r.shape() == coarse_b.shape(),
+              "fused restriction assumes equal brick shapes on both levels");
+  trace::TraceSpan span("kernel.residualRestrict");
+  const Box interior = Box::from_extent(fe);
+  count_flops(box_points(interior), 1);
+  count_flops(static_cast<std::uint64_t>(ce.x) * ce.y * ce.z, 8);
+  const auto scope = check::scope_if_enabled(
+      "kernel.residualRestrict",
+      {check::access(r, interior),
+       check::access(coarse_b, Box::from_extent(ce))},
+      {check::access(b, interior), check::access(Ax, interior),
+       check::access(r, interior)});
+  with_brick_dims(r.shape(), [&](auto bd) {
+    using BD = decltype(bd);
+    static_assert(BD::bx % 2 == 0 && BD::by % 2 == 0 && BD::bz % 2 == 0);
+    const BrickGrid& fg = r.grid();
+    const BrickGrid& cg = coarse_b.grid();
+    real_t* __restrict rp = r.data();
+    real_t* __restrict cp = coarse_b.data();
+    const real_t* __restrict bp = b.data();
+    const real_t* __restrict axp = Ax.data();
+    // Interior fine bricks are ids [0, num_interior): per brick, the
+    // flat residual rows then the octant copy from the residual still
+    // in cache. Any chunking is race-free (disjoint r bricks, disjoint
+    // coarse octants).
+    exec::parallel_for(
+        "kernel.residualRestrict", fg.num_interior(),
+        exec::brick_grain(BD::volume), [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t fid = lo; fid < hi; ++fid) {
+            const std::size_t base =
+                static_cast<std::size_t>(fid) * BD::volume;
+#pragma omp simd
+            for (index_t i = 0; i < static_cast<index_t>(BD::volume); ++i) {
+              rp[base + i] = bp[base + i] - axp[base + i];
+            }
+            restrict_brick<BD>(fg.coord_of(static_cast<std::int32_t>(fid)),
+                               cg, rp + base, cp);
+          }
+        });
+  });
+}
+
+real_t residual_max_norm(BrickedArray& r, const BrickedArray& b,
+                         const BrickedArray& Ax) {
+  trace::TraceSpan span("kernel.residualMaxNorm");
+  const Box interior = Box::from_extent(r.extent());
+  count_flops(box_points(interior), 2);
+  const auto scope = check::scope_if_enabled(
+      "kernel.residualMaxNorm", {check::access(r, interior)},
+      {check::access(b, interior), check::access(Ax, interior)});
+  real_t m = 0.0;
+  with_brick_dims(r.shape(), [&](auto bd) {
+    using BD = decltype(bd);
+    real_t* __restrict rp = r.data();
+    const real_t* __restrict bp = b.data();
+    const real_t* __restrict axp = Ax.data();
+    // Identical flat range and chunk grain as the split max_norm: the
+    // per-chunk partials — and the fixed combining tree over them —
+    // see the same values in the same order, so the result is bitwise
+    // equal to residual() followed by max_norm() (fp max is exactly
+    // associative; the residual write is elementwise identical).
+    const std::int64_t n =
+        static_cast<std::int64_t>(r.grid().num_interior()) * BD::volume;
+    m = exec::parallel_reduce_max<real_t>(
+        "kernel.residualMaxNorm", n, exec::kElementGrain,
+        [&](std::int64_t lo, std::int64_t hi) {
+          real_t local = 0.0;
+#pragma omp simd reduction(max : local)
+          for (std::int64_t i = lo; i < hi; ++i) {
+            const real_t v = bp[i] - axp[i];
+            rp[i] = v;
+            local = std::max(local, std::abs(v));
+          }
+          return local;
+        });
+  });
+  return m;
+}
+
+}  // namespace gmg::fused

@@ -1,0 +1,92 @@
+// Fused multi-stage kernels for the descent leg of the V-cycle
+// (DESIGN.md §16). The split schedule makes three full passes over
+// each fine brick per level visit — smooth, residual, restriction —
+// even though fine-grain blocking keeps a brick's working set
+// resident. These kernels glue the post-applyOp stages into ONE pass:
+// per fine brick, the final smoother update, r = b - Ax, and the 8->1
+// full-weighted coarse contribution, with the brick's freshly-written
+// residual still in cache when the restriction reads it.
+//
+// Fusion boundary: applyOp stays its own pass. The CA margin schedule
+// and the split-phase overlap machinery split only the operator
+// application by region (DESIGN.md §10/§11); the stages fused here are
+// pointwise (smooth/residual) or read only the brick's own residual
+// (restriction), so composing them changes no exchange, margin, or
+// overlap decision.
+//
+// Bitwise contract: every fused kernel replicates the split kernels'
+// per-element arithmetic and summation order VERBATIM (same tap order,
+// same 0.125 * (8-term sum), same -omega/diag factor), under the
+// repo-wide -ffp-contract=off. Restriction writes stay race-free under
+// any chunking: eight fine bricks write disjoint octants of one coarse
+// brick, and each fine brick reads only the residual it just wrote.
+#pragma once
+
+#include "brick/bricked_array.hpp"
+#include "check/footprint.hpp"
+#include "common/types.hpp"
+
+namespace gmg::fused {
+
+/// The fused descent kernel's read footprint on the fine residual,
+/// derived as the union of the stages it glues together: the pointwise
+/// smooth/residual stage (center tap) merged with the restriction
+/// octant. Derived through the constexpr check:: machinery so a stage
+/// edit that widens a footprint fails the static_asserts below, not as
+/// a silent out-of-ghost read.
+constexpr dsl::OffsetSet descent_footprint() {
+  dsl::OffsetSet pointwise;  // smooth + residual touch only the center
+  pointwise.add(dsl::Tap{0, 0, 0, 0});
+  return pointwise.merged(check::restriction_shape());
+}
+
+// The union must be exactly the restriction octant (the pointwise
+// center tap is one of its 8 taps) and must fit even the smallest
+// supported brick: the fused pass reads no cell the split restriction
+// would not.
+static_assert(check::same_footprint(descent_footprint(),
+                                    check::restriction_shape()),
+              "fused smooth+residual+restriction footprint must equal "
+              "the restriction octant");
+static_assert(check::footprint_fits(descent_footprint().extents(), 2, 2, 2),
+              "fused descent footprint must fit the smallest brick");
+
+/// Setup-time guard (GmgSolver constructor, fuse_stages on): the fused
+/// footprint must fit the configured brick's one-brick-deep ghost
+/// capacity, and the per-brick octant restriction needs even brick
+/// dims. Throws GmgError otherwise — undersized ghosts are rejected at
+/// setup, not discovered as corrupt coarse RHS values.
+void require_fused_fits(const BrickShape& shape);
+
+/// Fused final Jacobi sweep: per brick of `active`,
+///   r = b - Ax;  x += gamma * (Ax - b);
+/// and, for interior bricks, the 8->1 full-weighted restriction of the
+/// just-written r into `coarse_b`. `active` must cover the fine
+/// interior (it always does: active = grow(interior, margin - radius)
+/// with margin >= radius). Extents/shapes as restriction().
+void smooth_residual_restrict(BrickedArray& x, BrickedArray& r,
+                              BrickedArray& coarse_b, const BrickedArray& Ax,
+                              const BrickedArray& b, real_t gamma,
+                              const Box& active);
+
+/// Variable-coefficient twin: x += (-omega / diag) * (Ax - b).
+void smooth_residual_restrict_varcoef(BrickedArray& x, BrickedArray& r,
+                                      BrickedArray& coarse_b,
+                                      const BrickedArray& Ax,
+                                      const BrickedArray& b,
+                                      const BrickedArray& diag, real_t omega,
+                                      const Box& active);
+
+/// Fused GS descent tail: r = b - Ax over the full interior plus the
+/// per-brick restriction into `coarse_b`, one pass per fine brick.
+void residual_restrict(BrickedArray& r, BrickedArray& coarse_b,
+                       const BrickedArray& b, const BrickedArray& Ax);
+
+/// Fused convergence check: r = b - Ax over the interior and the local
+/// max|r| in the same pass. Uses the identical flat range and chunk
+/// grain as the split max_norm, so the fixed reduction tree — and with
+/// it the solve history — is bitwise identical to residual()+max_norm().
+real_t residual_max_norm(BrickedArray& r, const BrickedArray& b,
+                         const BrickedArray& Ax);
+
+}  // namespace gmg::fused

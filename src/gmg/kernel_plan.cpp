@@ -1,0 +1,124 @@
+#include "gmg/kernel_plan.hpp"
+
+#include <array>
+
+#include "dsl/apply_brick.hpp"
+#include "dsl/generated/laplacian_7pt_gen.hpp"
+#include "dsl/generated/star_13pt_gen.hpp"
+#include "dsl/stencils.hpp"
+#include "gmg/fused_kernels.hpp"
+#include "gmg/level.hpp"
+#include "gmg/operators.hpp"
+#include "gmg/operators_varcoef.hpp"
+#include "gmg/solver.hpp"
+
+namespace gmg {
+
+// This file IS the specializer registry: the only place in src/gmg
+// that names the per-stage kernels directly. Everything in the sweep
+// hot path (solver.cpp) calls through the bound functors —
+// tools/gmg_lint enforces that no bare per-stage kernel call creeps
+// back into the solver.
+void resolve_level_kernels(const GmgOptions& opts, MgLevel& lev) {
+  KernelPlan plan;
+  plan.sweep = lev.plan.sweep;  // assigned by the solver; keep across
+                                // a set_coefficient re-resolve
+
+  const bool jacobi = opts.smoother == Smoother::kPointJacobi ||
+                      opts.smoother == Smoother::kWeightedJacobi;
+  plan.weight = opts.smoother == Smoother::kWeightedJacobi
+                    ? opts.jacobi_weight
+                    : real_t{0.5};
+  // Fusion capability predicate (see kernel_plan.hpp): full descent
+  // fusion needs a pointwise final smoother application (Jacobi
+  // family); GS fuses only its residual+restriction tail; Chebyshev
+  // falls back to the split schedule entirely. The residual+norm
+  // fusion is smoother-independent.
+  plan.fuse_descent = opts.fuse_stages && jacobi;
+  plan.fuse_gs_tail =
+      opts.fuse_stages && opts.smoother == Smoother::kRedBlackGS;
+  plan.fuse_norm = opts.fuse_stages;
+
+  // The functors capture the LEVEL pointer plus scalars by value:
+  // detach/attach_field_storage reassigns the field BrickedArrays, so
+  // bindings dereference through the level at call time. MgLevel
+  // addresses are stable (levels_ is sized once at construction).
+  MgLevel* L = &lev;
+
+  // applyOp variant: the former branch chain in
+  // GmgSolver::apply_operator, resolved once per level instead of per
+  // sweep.
+  if (lev.varcoef) {
+    const real_t s = opts.identity_coef;
+    plan.apply = [L, s](BrickedArray& out, const BrickedArray& in,
+                        const Box& active) {
+      apply_op_varcoef(out, in, L->coef, s, L->h, active);
+    };
+  } else if (opts.use_generated_kernels) {
+    if (lev.radius == 1) {
+      plan.apply = [L](BrickedArray& out, const BrickedArray& in,
+                       const Box& active) {
+        dsl::generated::laplacian_7pt(out, in, L->alpha, L->beta, active);
+      };
+    } else {
+      plan.apply = [L](BrickedArray& out, const BrickedArray& in,
+                       const Box& active) {
+        dsl::generated::star_13pt(out, in, L->alpha, L->beta, L->beta2,
+                                  active);
+      };
+    }
+  } else if (lev.radius == 1) {
+    plan.apply = [L](BrickedArray& out, const BrickedArray& in,
+                     const Box& active) {
+      apply_op(out, in, L->alpha, L->beta, active);
+    };
+  } else {
+    plan.apply = [L](BrickedArray& out, const BrickedArray& in,
+                     const Box& active) {
+      const auto expr = dsl::star_stencil<2, 0>(
+          std::array<real_t, 3>{L->alpha, L->beta, L->beta2});
+      dsl::apply(expr, out, active, in);
+    };
+  }
+
+  // Pointwise smoother stage, const/var coefficient resolved here.
+  const real_t weight = plan.weight;
+  if (lev.varcoef) {
+    plan.smooth = [L, weight](const Box& active) {
+      smooth_varcoef(L->x, L->Ax, L->b, L->diag, weight, active);
+    };
+    plan.smooth_residual = [L, weight](const Box& active) {
+      smooth_residual_varcoef(L->x, L->r, L->Ax, L->b, L->diag, weight,
+                              active);
+    };
+    plan.smooth_residual_restrict = [L, weight](BrickedArray& coarse_b,
+                                                const Box& active) {
+      fused::smooth_residual_restrict_varcoef(L->x, L->r, coarse_b, L->Ax,
+                                              L->b, L->diag, weight, active);
+    };
+  } else {
+    const real_t gamma = -weight / lev.alpha;
+    plan.smooth = [L, gamma](const Box& active) {
+      smooth(L->x, L->Ax, L->b, gamma, active);
+    };
+    plan.smooth_residual = [L, gamma](const Box& active) {
+      smooth_residual(L->x, L->r, L->Ax, L->b, gamma, active);
+    };
+    plan.smooth_residual_restrict = [L, gamma](BrickedArray& coarse_b,
+                                               const Box& active) {
+      fused::smooth_residual_restrict(L->x, L->r, coarse_b, L->Ax, L->b,
+                                      gamma, active);
+    };
+  }
+
+  plan.residual_restrict = [L](BrickedArray& coarse_b) {
+    fused::residual_restrict(L->r, coarse_b, L->b, L->Ax);
+  };
+  plan.residual_max_norm = [L]() {
+    return fused::residual_max_norm(L->r, L->b, L->Ax);
+  };
+
+  lev.plan = std::move(plan);
+}
+
+}  // namespace gmg

@@ -7,6 +7,7 @@
 #include "brick/bricked_array.hpp"
 #include "comm/exchange.hpp"
 #include "common/types.hpp"
+#include "gmg/kernel_plan.hpp"
 #include "mesh/decomposition.hpp"
 
 namespace gmg {
@@ -40,6 +41,11 @@ struct MgLevel {
   BrickedArray diag;
 
   std::unique_ptr<comm::BrickExchange> exchange;
+
+  // Resolved kernel bindings for this level's (brick dims, coefficient
+  // kind, smoother, fused-vs-split) configuration — see
+  // kernel_plan.hpp. Rebuilt by set_coefficient when varcoef flips.
+  KernelPlan plan;
 
   // Communication-avoiding bookkeeping: how many ghost cell layers of
   // x are still valid (0 = must exchange before the next applyOp), and

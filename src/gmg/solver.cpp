@@ -2,14 +2,14 @@
 
 #include <array>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 
 #include "check/footprint.hpp"
 #include "common/timer.hpp"
-#include "dsl/apply_brick.hpp"
 #include "dsl/stencils.hpp"
+#include "gmg/fused_kernels.hpp"
 #include "gmg/operators.hpp"
-#include "dsl/generated/laplacian_7pt_gen.hpp"
-#include "dsl/generated/star_13pt_gen.hpp"
 #include "gmg/operators_varcoef.hpp"
 #include "trace/trace.hpp"
 
@@ -41,6 +41,13 @@ GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
   GMG_REQUIRE(opts_.operator_radius == 1 || opts_.operator_radius == 2,
               "operator radius must be 1 (7-point) or 2 (13-point)");
 
+  // Environment override for the fusion gate (mirrors
+  // GMG_EXEC_WORKERS): lets CI and benches flip configurations without
+  // a rebuild. "0" disables, anything else enables.
+  if (const char* env = std::getenv("GMG_FUSE_STAGES")) {
+    opts_.fuse_stages = std::string(env) != "0";
+  }
+
   // Footprint-vs-ghost-depth checks (src/check): the ghost region is
   // one brick deep, so every stencil the cycle applies — operator,
   // smoother consumption rate, inter-level transfers — must fit the
@@ -56,6 +63,12 @@ GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
   check::require_footprint_fits(
       "interpolation (trilinear)",
       check::interpolation_trilinear_shape().extents(), opts_.brick);
+  // The fused descent kernel's union footprint (DESIGN.md §16) must
+  // fit the ghost capacity too — with today's stages it equals the
+  // restriction octant, but deriving it through the same constexpr
+  // union keeps a future wider final-smooth stage from silently
+  // outgrowing the ghosts.
+  if (opts_.fuse_stages) fused::require_fused_fits(opts_.brick);
   // CA smoothing refills the ghost margin to one brick depth per
   // exchange and consumes layers per sweep: the operator radius for
   // Jacobi/Chebyshev, two for a red-black iteration (each colored
@@ -154,6 +167,25 @@ GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
         lev.grid, shape, decomp, rank, opts_.exchange_mode);
     levels_.push_back(std::move(lev));
   }
+  resolve_kernel_plans();
+}
+
+void GmgSolver::resolve_kernel_plans() {
+  for (MgLevel& lev : levels_) {
+    resolve_level_kernels(opts_, lev);
+    switch (opts_.smoother) {
+      case Smoother::kPointJacobi:
+      case Smoother::kWeightedJacobi:
+        lev.plan.sweep = &GmgSolver::jacobi_sweeps;
+        break;
+      case Smoother::kChebyshev:
+        lev.plan.sweep = &GmgSolver::chebyshev_sweeps;
+        break;
+      case Smoother::kRedBlackGS:
+        lev.plan.sweep = &GmgSolver::gs_sweeps;
+        break;
+    }
+  }
 }
 
 void GmgSolver::set_rhs(
@@ -248,26 +280,16 @@ void GmgSolver::set_coefficient(
                      grow(lev.interior(), lev.shape.bx - 1));
     lev.margin = 0;  // ghosts of x are unrelated to the new operator
   }
+  // The varcoef flip invalidates every const-coefficient kernel
+  // binding; re-resolve the plans against the new operator.
+  resolve_kernel_plans();
 }
 
 void GmgSolver::apply_operator(MgLevel& lev, BrickedArray& out,
                                const BrickedArray& in, const Box& active) {
-  if (lev.varcoef) {
-    apply_op_varcoef(out, in, lev.coef, opts_.identity_coef, lev.h, active);
-  } else if (opts_.use_generated_kernels) {
-    if (lev.radius == 1) {
-      dsl::generated::laplacian_7pt(out, in, lev.alpha, lev.beta, active);
-    } else {
-      dsl::generated::star_13pt(out, in, lev.alpha, lev.beta, lev.beta2,
-                                active);
-    }
-  } else if (lev.radius == 1) {
-    apply_op(out, in, lev.alpha, lev.beta, active);
-  } else {
-    const auto expr = dsl::star_stencil<2, 0>(
-        std::array<real_t, 3>{lev.alpha, lev.beta, lev.beta2});
-    dsl::apply(expr, out, active, in);
-  }
+  // The variant branch chain (varcoef / generated / radius) lives in
+  // resolve_level_kernels now; per sweep this is one indirect call.
+  lev.plan.apply(out, in, active);
 }
 
 void GmgSolver::exchange_for_smooth(comm::Communicator& comm, MgLevel& lev) {
@@ -401,26 +423,16 @@ void GmgSolver::finish_exchange_overlapped(
 }
 
 void GmgSolver::smooth_level(comm::Communicator& comm, MgLevel& lev,
-                             int iterations, bool with_residual) {
-  switch (opts_.smoother) {
-    case Smoother::kPointJacobi:
-      jacobi_sweeps(comm, lev, iterations, with_residual, 0.5);
-      break;
-    case Smoother::kWeightedJacobi:
-      jacobi_sweeps(comm, lev, iterations, with_residual,
-                    opts_.jacobi_weight);
-      break;
-    case Smoother::kChebyshev:
-      chebyshev_sweeps(comm, lev, iterations, with_residual);
-      break;
-    case Smoother::kRedBlackGS:
-      gs_sweeps(comm, lev, iterations, with_residual);
-      break;
-  }
+                             int iterations, bool with_residual,
+                             BrickedArray* restrict_to) {
+  // The former per-call smoother switch, resolved once at setup into
+  // the level's plan (kernel_plan.hpp).
+  (this->*lev.plan.sweep)(comm, lev, iterations, with_residual, restrict_to);
 }
 
 void GmgSolver::gs_sweeps(comm::Communicator& comm, MgLevel& lev,
-                          int iterations, bool with_residual) {
+                          int iterations, bool with_residual,
+                          BrickedArray* restrict_to) {
   GMG_REQUIRE(lev.radius == 1 && !lev.varcoef,
               "red-black Gauss-Seidel supports the constant-coefficient "
               "7-point operator only");
@@ -509,17 +521,24 @@ void GmgSolver::gs_sweeps(comm::Communicator& comm, MgLevel& lev,
         apply_operator(lev, lev.Ax, lev.x, interior);
       });
     }
-    profiler_.timed(lev.level, perf::Phase::kResidual, [&] {
-      residual(lev.r, lev.b, lev.Ax, interior);
-    });
+    if (restrict_to != nullptr && lev.plan.fuse_gs_tail) {
+      // Fused tail (the former separate-full-pass small fix): r and
+      // its restriction into the coarse RHS in one pass per brick.
+      profiler_.timed(lev.level, perf::Phase::kFusedDescent, [&] {
+        lev.plan.residual_restrict(*restrict_to);
+      });
+    } else {
+      profiler_.timed(lev.level, perf::Phase::kResidual, [&] {
+        residual(lev.r, lev.b, lev.Ax, interior);
+      });
+    }
   }
 }
 
 void GmgSolver::jacobi_sweeps(comm::Communicator& comm, MgLevel& lev,
                               int iterations, bool with_residual,
-                              real_t weight) {
+                              BrickedArray* restrict_to) {
   const Box interior = lev.interior();
-  const real_t gamma = -weight / lev.alpha;
   const index_t radius = lev.radius;
   for (int it = 0; it < iterations; ++it) {
     Box active = interior;
@@ -558,31 +577,37 @@ void GmgSolver::jacobi_sweeps(comm::Communicator& comm, MgLevel& lev,
       profiler_.timed(lev.level, perf::Phase::kApplyOp,
                       [&] { apply_operator(lev, lev.Ax, lev.x, active); });
     }
-    if (with_residual) {
-      profiler_.timed(lev.level, perf::Phase::kSmoothResidual, [&] {
-        if (lev.varcoef) {
-          smooth_residual_varcoef(lev.x, lev.r, lev.Ax, lev.b, lev.diag,
-                                  weight, active);
-        } else {
-          smooth_residual(lev.x, lev.r, lev.Ax, lev.b, gamma, active);
-        }
+    // On the FINAL descent sweep the fused plan folds the restriction
+    // of the just-computed residual into the same pass over each fine
+    // brick (one pass instead of smooth+residual then restriction).
+    // Earlier sweeps overwrite r anyway, so only the last one feeds
+    // the coarse RHS.
+    const bool fuse_final = with_residual && restrict_to != nullptr &&
+                            lev.plan.fuse_descent && it == iterations - 1;
+    if (fuse_final) {
+      profiler_.timed(lev.level, perf::Phase::kFusedDescent, [&] {
+        lev.plan.smooth_residual_restrict(*restrict_to, active);
       });
+    } else if (with_residual) {
+      profiler_.timed(lev.level, perf::Phase::kSmoothResidual,
+                      [&] { lev.plan.smooth_residual(active); });
     } else {
-      profiler_.timed(lev.level, perf::Phase::kSmooth, [&] {
-        if (lev.varcoef) {
-          smooth_varcoef(lev.x, lev.Ax, lev.b, lev.diag, weight, active);
-        } else {
-          smooth(lev.x, lev.Ax, lev.b, gamma, active);
-        }
-      });
+      profiler_.timed(lev.level, perf::Phase::kSmooth,
+                      [&] { lev.plan.smooth(active); });
     }
     if (opts_.communication_avoiding) lev.margin -= radius;
   }
 }
 
 void GmgSolver::chebyshev_sweeps(comm::Communicator& comm, MgLevel& lev,
-                                 int iterations, bool with_residual) {
+                                 int iterations, bool with_residual,
+                                 BrickedArray* restrict_to) {
   (void)with_residual;  // r = b - Ax is produced every sweep anyway
+  // Chebyshev cannot fuse the descent: the recurrence consumes r on
+  // EVERY sweep and updates x after it, so there is no final pointwise
+  // pass to glue the restriction onto. The plan's capability predicate
+  // (fuse_descent = false) makes cycle_at keep the split restriction.
+  (void)restrict_to;
   const Box interior = lev.interior();
   const index_t radius = lev.radius;
   const real_t lambda_max = opts_.cheby_lambda_max;
@@ -698,9 +723,16 @@ void GmgSolver::cycle_at(comm::Communicator& comm, int l) {
   MgLevel& lev = levels_[static_cast<std::size_t>(l)];
   MgLevel& coarse = levels_[static_cast<std::size_t>(l + 1)];
 
-  smooth_level(comm, lev, opts_.smooths, /*with_residual=*/true);
-  profiler_.timed(l, perf::Phase::kRestriction,
-                  [&] { restriction(coarse.b, lev.r); });
+  // Descent: where the plan fuses, the final smoothing sweep also
+  // restricts r into the coarse RHS (one pass instead of three stages
+  // — DESIGN.md §16); otherwise restriction runs as its own pass.
+  BrickedArray* restrict_to =
+      lev.plan.fuses_restriction() ? &coarse.b : nullptr;
+  smooth_level(comm, lev, opts_.smooths, /*with_residual=*/true, restrict_to);
+  if (restrict_to == nullptr) {
+    profiler_.timed(l, perf::Phase::kRestriction,
+                    [&] { restriction(coarse.b, lev.r); });
+  }
   coarse.b_ghosts_valid = false;
   profiler_.timed(l + 1, perf::Phase::kInitZero, [&] { init_zero(coarse.x); });
   coarse.margin = coarse.shape.bx;  // zero ghosts are valid
@@ -769,12 +801,19 @@ real_t GmgSolver::residual_norm(comm::Communicator& comm) {
       apply_operator(fine, fine.Ax, fine.x, fine.interior());
     });
   }
-  profiler_.timed(0, perf::Phase::kResidual, [&] {
-    residual(fine.r, fine.b, fine.Ax, fine.interior());
-  });
   real_t local = 0;
-  profiler_.timed(0, perf::Phase::kMaxNorm,
-                  [&] { local = max_norm(fine.r); });
+  if (fine.plan.fuse_norm) {
+    // Fused residual + max-norm: one pass instead of two, bitwise
+    // identical to the split pair (fused_kernels.hpp).
+    profiler_.timed(0, perf::Phase::kMaxNorm,
+                    [&] { local = fine.plan.residual_max_norm(); });
+  } else {
+    profiler_.timed(0, perf::Phase::kResidual, [&] {
+      residual(fine.r, fine.b, fine.Ax, fine.interior());
+    });
+    profiler_.timed(0, perf::Phase::kMaxNorm,
+                    [&] { local = max_norm(fine.r); });
+  }
   return comm.allreduce_max(local);
 }
 

@@ -125,6 +125,18 @@ struct GmgOptions {
   /// "everything through the code generator" configuration BrickLib
   /// itself runs in. Constant-coefficient operators only.
   bool use_generated_kernels = false;
+
+  /// Cross-stage kernel fusion for the V-cycle descent (DESIGN.md
+  /// §16): where the smoother permits it, the final smooth + residual
+  /// + restriction run as ONE pass over each fine brick, and
+  /// residual_norm fuses the residual with its max-norm reduction.
+  /// Jacobi/weighted Jacobi fuse fully; red-black GS fuses its
+  /// residual+restriction tail; Chebyshev falls back to the split
+  /// schedule (its recurrence consumes r every sweep). Value-neutral:
+  /// fused results are bitwise identical to the split path. The
+  /// GMG_FUSE_STAGES environment variable ("0" disables) overrides
+  /// this at construction, mirroring GMG_EXEC_WORKERS.
+  bool fuse_stages = true;
 };
 
 struct SolveResult {
@@ -241,21 +253,31 @@ class GmgSolver {
   const perf::Profiler& profiler() const { return profiler_; }
 
  private:
-  /// Apply this level's operator (radius 1 specialized kernel or
-  /// radius-2 DSL star) over `active`.
+  /// Apply this level's operator over `active` — dispatches through
+  /// the level's resolved KernelPlan binding.
   void apply_operator(MgLevel& lev, BrickedArray& out, const BrickedArray& in,
                       const Box& active);
 
+  /// Resolve every level's KernelPlan (kernel bindings + fusion
+  /// predicate + sweep routine). Called from the constructor and again
+  /// from set_coefficient.
+  void resolve_kernel_plans();
+
   /// One smoothing block at `lev`: `iterations` sweeps of the selected
-  /// smoother with CA-scheduled exchanges.
+  /// smoother with CA-scheduled exchanges, dispatched through the
+  /// level's resolved plan. A non-null `restrict_to` asks the sweep to
+  /// fuse the descent restriction of r into it where the plan permits
+  /// (cycle_at checks plan.fuses_restriction() to know whether the
+  /// separate restriction pass is still needed).
   void smooth_level(comm::Communicator& comm, MgLevel& lev, int iterations,
-                    bool with_residual);
+                    bool with_residual, BrickedArray* restrict_to = nullptr);
   void jacobi_sweeps(comm::Communicator& comm, MgLevel& lev, int iterations,
-                     bool with_residual, real_t weight);
+                     bool with_residual, BrickedArray* restrict_to);
   void chebyshev_sweeps(comm::Communicator& comm, MgLevel& lev,
-                        int iterations, bool with_residual);
+                        int iterations, bool with_residual,
+                        BrickedArray* restrict_to);
   void gs_sweeps(comm::Communicator& comm, MgLevel& lev, int iterations,
-                 bool with_residual);
+                 bool with_residual, BrickedArray* restrict_to);
 
   void bottom_solve(comm::Communicator& comm);
   void bottom_cg(comm::Communicator& comm, MgLevel& lev);

@@ -10,7 +10,7 @@ const char* phase_name(Phase p) {
   // Exhaustive: adding a Phase without naming it must fail to compile
   // (no default case, so -Wswitch flags the omission) and the
   // static_assert pins the count this switch was written against.
-  static_assert(static_cast<int>(Phase::kCount) == 10,
+  static_assert(static_cast<int>(Phase::kCount) == 11,
                 "Phase enum changed: update phase_name and "
                 "phase_from_name");
   switch (p) {
@@ -26,6 +26,8 @@ const char* phase_name(Phase p) {
       return "residual";
     case Phase::kRestriction:
       return "restriction";
+    case Phase::kFusedDescent:
+      return "smooth+residual+restriction";
     case Phase::kInterpIncrement:
       return "interpolation+increment";
     case Phase::kInitZero:

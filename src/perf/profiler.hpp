@@ -29,6 +29,11 @@ enum class Phase : int {
   kSmoothResidual,
   kResidual,
   kRestriction,
+  /// One fused descent pass covering the final smooth application,
+  /// the residual, and the restriction (DESIGN.md §16) — replaces a
+  /// kSmoothResidual + kRestriction pair (Jacobi) or a kResidual +
+  /// kRestriction pair (GS tail) when fusion is on.
+  kFusedDescent,
   kInterpIncrement,
   kInitZero,
   kMaxNorm,

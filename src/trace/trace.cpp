@@ -73,14 +73,17 @@ Registry& registry() {
 /// Where the periodic flusher parks drained events between collects.
 /// Bounded: beyond `keep_spans` the oldest spans are discarded and
 /// counted as dropped, so a runaway service degrades loudly (the drop
-/// counter) instead of exhausting memory.
+/// counter) instead of exhausting memory. Compaction runs only once
+/// the store reaches twice `keep_spans` (then trims back down to it),
+/// so the front-erase shift is amortized O(1) per appended span
+/// instead of an O(keep_spans) memmove on every append at the cap.
 struct FlushStore {
   std::mutex mu;
   std::vector<SpanRecord> spans;
   std::vector<CounterTotal> counters;
   std::uint64_t dropped = 0;
   std::size_t keep_spans =
-      env_size("GMG_TRACE_FLUSH_KEEP", std::size_t{1} << 20,
+      env_size("GMG_TRACE_FLUSH_KEEP", std::size_t{1} << 18,
                std::size_t{1} << 10, std::size_t{1} << 26);
 };
 
@@ -107,14 +110,31 @@ std::atomic<bool> g_enabled{true};
 
 thread_local int tls_rank = 0;
 
-/// Returning a buffer to the free list happens via this handle's
-/// destructor at thread exit; events survive (the registry keeps a
-/// reference) and the buffer is only reused after a clearing collect()
-/// has harvested it.
+// Defined below, after Snapshot's methods.
+void drain_buffer(ThreadBuffer& b, Snapshot& snap);
+void append_to_flush_store(Snapshot&& snap);
+
+/// At thread exit the owning thread drains its ring into the bounded
+/// flush store and returns the buffer to the free list. Draining
+/// eagerly (rather than waiting for a clearing collect()) keeps trace
+/// memory bounded by the peak number of concurrent threads: a serving
+/// process spawns short-lived world threads per request, and stranding
+/// one full ring per thread ever created grows without bound.
 struct TlsHandle {
   std::shared_ptr<ThreadBuffer> buf;
   ~TlsHandle() {
-    if (buf) buf->retired.store(true, std::memory_order_release);
+    if (!buf) return;
+    Snapshot snap;
+    {
+      Registry& reg = registry();
+      std::lock_guard<std::mutex> lock(reg.mu);
+      drain_buffer(*buf, snap);
+      auto it = std::find(reg.buffers.begin(), reg.buffers.end(), buf);
+      if (it != reg.buffers.end()) reg.buffers.erase(it);
+      buf->retired.store(true, std::memory_order_release);
+      reg.free.push_back(std::move(buf));
+    }
+    append_to_flush_store(std::move(snap));
   }
 };
 thread_local TlsHandle tls_handle;
@@ -260,6 +280,46 @@ int Snapshot::max_rank() const {
 
 namespace {
 
+/// Drain one buffer's ring and counter table into `snap` and reset
+/// them. Caller must hold the registry lock (mutual exclusion with
+/// harvest_rings) and be — or exclude — the owning thread.
+void drain_buffer(ThreadBuffer& b, Snapshot& snap) {
+  const std::size_t n =
+      std::min(b.count.load(std::memory_order_acquire), b.events.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const RawEvent& e = b.events[i];
+    snap.spans.push_back(SpanRecord{e.name, e.cat, e.rank, b.tid, e.level,
+                                    e.t0_ns, e.dur_ns});
+  }
+  snap.dropped += b.dropped.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> clock(b.counter_mu);
+    for (const RawCounter& c : b.counters)
+      snap.counters.push_back(CounterTotal{c.name, c.rank, c.value});
+    b.counters.clear();
+  }
+  b.count.store(0, std::memory_order_relaxed);
+  b.dropped.store(0, std::memory_order_relaxed);
+}
+
+/// Park `snap` in the flush store, enforcing the keep_spans bound.
+/// Takes only the flush-store lock; never called with the registry
+/// lock held.
+void append_to_flush_store(Snapshot&& snap) {
+  FlushStore& fs = flush_store();
+  std::lock_guard<std::mutex> lock(fs.mu);
+  fs.dropped += snap.dropped;
+  for (SpanRecord& s : snap.spans) fs.spans.push_back(std::move(s));
+  for (CounterTotal& c : snap.counters) fs.counters.push_back(std::move(c));
+  if (fs.spans.size() > 2 * fs.keep_spans) {
+    const std::size_t excess = fs.spans.size() - fs.keep_spans;
+    fs.spans.erase(fs.spans.begin(),
+                   fs.spans.begin() + static_cast<std::ptrdiff_t>(excess));
+    fs.spans.shrink_to_fit();
+    fs.dropped += excess;
+  }
+}
+
 /// Drain every ring buffer into `snap` (unsorted). Holds the registry
 /// lock; the flush-store lock is never taken inside it.
 void harvest_rings(Snapshot& snap, bool clear) {
@@ -355,17 +415,7 @@ void clear() { (void)collect(/*clear=*/true); }
 void flush_now() {
   Snapshot snap;
   harvest_rings(snap, /*clear=*/true);
-  FlushStore& fs = flush_store();
-  std::lock_guard<std::mutex> lock(fs.mu);
-  fs.dropped += snap.dropped;
-  for (SpanRecord& s : snap.spans) fs.spans.push_back(std::move(s));
-  for (CounterTotal& c : snap.counters) fs.counters.push_back(std::move(c));
-  if (fs.spans.size() > fs.keep_spans) {
-    const std::size_t excess = fs.spans.size() - fs.keep_spans;
-    fs.spans.erase(fs.spans.begin(),
-                   fs.spans.begin() + static_cast<std::ptrdiff_t>(excess));
-    fs.dropped += excess;
-  }
+  append_to_flush_store(std::move(snap));
 }
 
 void start_periodic_flush(double interval_seconds) {

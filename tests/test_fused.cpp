@@ -1,0 +1,336 @@
+// Cross-stage kernel fusion (DESIGN.md §16): the fused descent
+// schedule — final smooth + residual + restriction in one pass, fused
+// residual+max-norm convergence checks, and the GS residual tail —
+// must be BITWISE identical to the split schedule, across smoothers,
+// coefficients (constant and variable), brick dims, worker counts, and
+// batched K-way solves. Plus the footprint machinery: the fused union
+// footprint is derived constexpr and static_assert-ed, GMG_CHECK sees
+// only the declared boxes during a fused run, and a seeded undersized-
+// ghost configuration is rejected at setup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "batch/batched_solver.hpp"
+#include "check/footprint.hpp"
+#include "check/shadow.hpp"
+#include "exec/runtime.hpp"
+#include "gmg/fused_kernels.hpp"
+#include "gmg/solver.hpp"
+#include "tests/test_util.hpp"
+
+namespace gmg {
+namespace {
+
+// ---- footprint derivation (compile-time) ---------------------------------
+
+// The fused descent pass reads no fine-residual cell the split
+// restriction would not: the pointwise center tap is one of the
+// restriction octant's 8 taps, so the union IS the octant — and it
+// fits even the smallest supported brick.
+static_assert(check::same_footprint(fused::descent_footprint(),
+                                    check::restriction_shape()),
+              "fused descent footprint must equal the restriction octant");
+static_assert(check::footprint_fits(fused::descent_footprint().extents(), 2,
+                                    2, 2),
+              "fused descent footprint must fit a 2^3 brick");
+// A hypothetical fused kernel that also pulled a radius-3 star into
+// the same pass would need 3 ghost layers — the same machinery reports
+// that it does NOT fit a 2^3 brick's one-brick ghost depth.
+static_assert(!check::footprint_fits(
+                  check::star_shape(3).merged(check::restriction_shape())
+                      .extents(),
+                  2, 2, 2),
+              "a widened fused union must be flagged as not fitting");
+
+real_t sine_rhs(real_t x, real_t y, real_t z) {
+  return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+         std::sin(2 * M_PI * z);
+}
+
+real_t wavy_coef(real_t x, real_t y, real_t z) {
+  return 1.0 + 0.5 * std::sin(2 * M_PI * x) * std::cos(2 * M_PI * y) +
+         0.25 * std::sin(4 * M_PI * z);
+}
+
+GmgOptions base_options(index_t bdim, Smoother sm) {
+  GmgOptions o;
+  o.levels = 3;
+  o.smooths = 2;
+  o.bottom_smooths = 12;
+  o.tolerance = 1e-10;
+  o.max_vcycles = 4;
+  o.brick = BrickShape::cube(bdim);
+  o.smoother = sm;
+  return o;
+}
+
+/// Run `vcycles` cycles on a fresh solver and capture the solution and
+/// the residual-norm history (one norm before, one after each cycle).
+struct RunOut {
+  std::vector<real_t> sol;
+  std::vector<real_t> history;
+};
+
+RunOut run_cycles(comm::Communicator& c, GmgOptions o, bool fuse,
+                  bool varcoef, int vcycles) {
+  o.fuse_stages = fuse;
+  const Vec3 global{32, 32, 32};
+  const CartDecomp decomp(global, {1, 1, 1});
+  GmgSolver solver(o, decomp, 0);
+  if (varcoef) solver.set_coefficient(c, wavy_coef);
+  solver.set_rhs(sine_rhs);
+  RunOut out;
+  out.history.push_back(solver.residual_norm(c));
+  for (int v = 0; v < vcycles; ++v) {
+    solver.vcycle(c);
+    out.history.push_back(solver.residual_norm(c));
+  }
+  const BrickedArray& x = solver.solution();
+  for_each(Box::from_extent(global), [&](index_t i, index_t j, index_t k) {
+    out.sol.push_back(x(i, j, k));
+  });
+  return out;
+}
+
+void expect_bitwise(const RunOut& a, const RunOut& b, const char* what) {
+  ASSERT_EQ(a.history.size(), b.history.size()) << what;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    ASSERT_EQ(a.history[i], b.history[i])
+        << what << ": residual history diverges at cycle " << i;
+  }
+  ASSERT_EQ(a.sol.size(), b.sol.size()) << what;
+  int failures = 0;
+  for (std::size_t i = 0; i < a.sol.size(); ++i) {
+    if (a.sol[i] != b.sol[i] && failures++ < 3) {
+      ADD_FAILURE() << what << ": solution diverges at flat index " << i;
+    }
+  }
+  ASSERT_EQ(failures, 0) << what;
+}
+
+// ---- fused vs split bitwise identity -------------------------------------
+
+struct FusedCase {
+  Smoother smoother;
+  index_t bdim;
+  bool varcoef;
+  const char* name;
+};
+
+class FusedVsSplit : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(FusedVsSplit, BitwiseIdenticalSchedules) {
+  const FusedCase fc = GetParam();
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    const GmgOptions o = base_options(fc.bdim, fc.smoother);
+    const RunOut fusedr = run_cycles(c, o, /*fuse=*/true, fc.varcoef, 3);
+    const RunOut split = run_cycles(c, o, /*fuse=*/false, fc.varcoef, 3);
+    expect_bitwise(fusedr, split, fc.name);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, FusedVsSplit,
+    ::testing::Values(
+        FusedCase{Smoother::kPointJacobi, 8, false, "jacobi-8"},
+        FusedCase{Smoother::kPointJacobi, 4, false, "jacobi-4"},
+        FusedCase{Smoother::kPointJacobi, 2, false, "jacobi-2"},
+        FusedCase{Smoother::kWeightedJacobi, 4, false, "wjacobi-4"},
+        FusedCase{Smoother::kWeightedJacobi, 4, true, "wjacobi-varcoef-4"},
+        FusedCase{Smoother::kPointJacobi, 8, true, "jacobi-varcoef-8"},
+        FusedCase{Smoother::kRedBlackGS, 4, false, "gs-4"},
+        FusedCase{Smoother::kChebyshev, 4, false, "cheby-4"},
+        FusedCase{Smoother::kChebyshev, 4, true, "cheby-varcoef-4"}),
+    [](const ::testing::TestParamInfo<FusedCase>& info) {
+      std::string n = info.param.name;
+      for (char& ch : n)
+        if (ch == '-') ch = '_';
+      return n;
+    });
+
+TEST(FusedDescent, BitwiseIdenticalAcrossWorkerCounts) {
+  // The fused pass must not introduce any worker-count dependence: the
+  // pointwise rows, the per-brick restriction, and the fused max-norm
+  // reduction all follow the same fixed chunk plans as the split path.
+  class EngineGuard {
+   public:
+    ~EngineGuard() {
+      exec::configure_default_engine(exec::resolved_default_workers());
+    }
+  } guard;
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    const GmgOptions o = base_options(4, Smoother::kPointJacobi);
+    exec::configure_default_engine(1);
+    const RunOut ref = run_cycles(c, o, /*fuse=*/true, false, 3);
+    for (int workers : {2, 4}) {
+      exec::configure_default_engine(workers);
+      const RunOut got = run_cycles(c, o, /*fuse=*/true, false, 3);
+      expect_bitwise(ref, got, "worker count");
+    }
+  });
+}
+
+TEST(FusedDescent, MultiRankMatchesSingleRankBitwise) {
+  // The fusion point is strictly after the exchange/margin machinery,
+  // so the fused schedule must preserve the multi-rank == single-rank
+  // bitwise identity.
+  const Vec3 global{32, 32, 32};
+  std::vector<real_t> reference;
+  {
+    comm::World world(1);
+    world.run([&](comm::Communicator& c) {
+      reference =
+          run_cycles(c, base_options(4, Smoother::kPointJacobi), true, false,
+                     2)
+              .sol;
+    });
+  }
+  const CartDecomp decomp(global, {2, 2, 1});
+  comm::World world(decomp.num_ranks());
+  world.run([&](comm::Communicator& c) {
+    GmgOptions o = base_options(4, Smoother::kPointJacobi);
+    o.fuse_stages = true;
+    GmgSolver solver(o, decomp, c.rank());
+    solver.set_rhs(sine_rhs);
+    for (int v = 0; v < 2; ++v) solver.vcycle(c);
+    const Box my_box = decomp.subdomain_box(c.rank());
+    const BrickedArray& x = solver.solution();
+    int failures = 0;
+    for_each(Box::from_extent(decomp.subdomain_extent()),
+             [&](index_t i, index_t j, index_t k) {
+               const index_t gi = my_box.lo.x + i, gj = my_box.lo.y + j,
+                             gk = my_box.lo.z + k;
+               // for_each order: k-major, i-minor.
+               const real_t want = reference[static_cast<std::size_t>(
+                   (gk * global.y + gj) * global.x + gi)];
+               if (x(i, j, k) != want && failures++ < 3) {
+                 ADD_FAILURE() << "rank " << c.rank() << " (" << i << ',' << j
+                               << ',' << k << ')';
+               }
+             });
+    ASSERT_EQ(failures, 0);
+  });
+}
+
+// ---- batched K-way solves ------------------------------------------------
+
+real_t rhs_b(real_t x, real_t y, real_t z) {
+  return std::cos(2 * M_PI * x) * std::sin(4 * M_PI * y) * (0.5 + z);
+}
+
+real_t rhs_c(real_t x, real_t y, real_t z) {
+  return x * (1 - x) + 0.25 * std::sin(2 * M_PI * (y + z));
+}
+
+TEST(FusedBatched, FusedVsSplitBitwiseAtK1AndK4) {
+  // The batched K-inner fused kernels follow the base level's
+  // KernelPlan; a batched solve with fusion on must match one with
+  // fusion off bitwise for every component.
+  const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+  for (int k : {1, 4}) {
+    comm::World world(1);
+    world.run([&](comm::Communicator& c) {
+      std::vector<std::function<real_t(real_t, real_t, real_t)>> fs;
+      fs.emplace_back(sine_rhs);
+      if (k == 4) {
+        fs.emplace_back(rhs_b);
+        fs.emplace_back(rhs_c);
+        fs.emplace_back(sine_rhs);
+      }
+      std::vector<batch::BatchSolveSpec> specs(static_cast<std::size_t>(k));
+      for (auto& s : specs) s.max_vcycles = 3;
+
+      GmgOptions fused_o = base_options(4, Smoother::kPointJacobi);
+      fused_o.fuse_stages = true;
+      GmgOptions split_o = fused_o;
+      split_o.fuse_stages = false;
+
+      GmgSolver fused_base(fused_o, decomp, 0);
+      GmgSolver split_base(split_o, decomp, 0);
+      batch::BatchedSolver fused_bs(fused_base, k);
+      batch::BatchedSolver split_bs(split_base, k);
+      fused_bs.set_rhs(fs);
+      split_bs.set_rhs(fs);
+      const auto fr = fused_bs.solve(c, specs);
+      const auto sr = split_bs.solve(c, specs);
+      for (int comp = 0; comp < k; ++comp) {
+        const std::size_t cc = static_cast<std::size_t>(comp);
+        ASSERT_EQ(fr[cc].vcycles, sr[cc].vcycles) << "K=" << k;
+        ASSERT_EQ(fr[cc].final_residual, sr[cc].final_residual) << "K=" << k;
+        const auto& fx = fused_bs.solution(comp);
+        const auto& sx = split_bs.solution(comp);
+        ASSERT_EQ(fx.size(), sx.size());
+        int failures = 0;
+        for (std::size_t i = 0; i < fx.size(); ++i) {
+          if (fx[i] != sx[i] && failures++ < 3) {
+            ADD_FAILURE() << "K=" << k << " component " << comp
+                          << " diverges at flat index " << i;
+          }
+        }
+        ASSERT_EQ(failures, 0);
+      }
+    });
+  }
+}
+
+// ---- GMG_CHECK: declared boxes honored -----------------------------------
+
+TEST(FusedCheck, FusedVcycleIsHazardCleanUnderDetector) {
+  // The fused kernels declare their access boxes (KernelScope) like
+  // every other kernel; a checked fused V-cycle over both coefficient
+  // regimes must record zero hazards — proving the fused passes touch
+  // only the boxes they declared.
+  check::set_enabled(true);
+  check::reset();
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    for (const bool varcoef : {false, true}) {
+      GmgOptions o = base_options(4, Smoother::kPointJacobi);
+      o.fuse_stages = true;
+      const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+      GmgSolver solver(o, decomp, 0);
+      if (varcoef) solver.set_coefficient(c, wavy_coef);
+      solver.set_rhs(sine_rhs);
+      solver.vcycle(c);
+      EXPECT_LT(solver.residual_norm(c), 1e3);
+    }
+  });
+  EXPECT_TRUE(check::hazards().empty());
+  EXPECT_NO_THROW(check::require_clean("fused vcycle"));
+  check::reset();
+  check::set_enabled(false);
+}
+
+// ---- seeded bug: undersized ghost for the fused footprint ----------------
+
+TEST(FusedSeededBug, WidenedFusedUnionRejectedBySetupCheck) {
+  // Seeded configuration bug: pretend a fused kernel's union footprint
+  // grew to include a radius-3 star (e.g. fusing the operator apply
+  // into the same pass). On 2^3 bricks the one-brick ghost depth is 2
+  // layers — the setup check must throw before any kernel runs.
+  const auto widened =
+      check::star_shape(3).merged(check::restriction_shape());
+  EXPECT_THROW(check::require_footprint_fits("seeded fused union",
+                                             widened.extents(),
+                                             BrickShape::cube(2)),
+               Error);
+  // The real fused footprint passes the same gate on the same brick.
+  EXPECT_NO_THROW(check::require_footprint_fits(
+      "fused descent", fused::descent_footprint().extents(),
+      BrickShape::cube(2)));
+}
+
+TEST(FusedSeededBug, OddBrickDimsRejectedByFusedSetupGuard) {
+  // The per-brick 8->1 octant restriction requires even brick dims;
+  // the guard fires even when the footprint itself would fit.
+  EXPECT_THROW(fused::require_fused_fits(BrickShape{3, 3, 3}), Error);
+  EXPECT_NO_THROW(fused::require_fused_fits(BrickShape::cube(2)));
+}
+
+}  // namespace
+}  // namespace gmg

@@ -23,6 +23,20 @@
 //      trace/perf clock wrappers: kernels and solvers must be bitwise
 //      reproducible run-to-run.
 //   4. The top-level CMakeLists.txt must keep -ffp-contract=off.
+//   5. In fused-kernel files (any src/ file named *fused*), every
+//      public top-level kernel (namespace-scope `void`/`real_t`
+//      function outside the anonymous namespace) that launches a
+//      parallel loop (parallel_for / for_each_row /
+//      for_each_plan_brick) must register its access boxes with the
+//      hazard detector (check::scope_if_enabled or KernelScope):
+//      a fused pass touches several fields across two levels, exactly
+//      the kind of footprint GMG_CHECK exists to verify.
+//   6. In src/gmg/solver.cpp, the per-stage kernels (smooth,
+//      smooth_residual, smooth_varcoef, smooth_residual_varcoef,
+//      apply_op, apply_op_varcoef) may only be invoked through the
+//      KernelPlan bindings (preceded by '.' or '->'): a bare free-
+//      function call bypasses the specializer registry resolved at
+//      setup and silently forks the solo/batched schedules.
 //
 // Exit status 0 = clean, 1 = violations (printed one per line,
 // `file:line: message`), 2 = usage/IO error.
@@ -147,6 +161,35 @@ bool under(const fs::path& file, const fs::path& dir) {
   return f.compare(0, d.size(), d) == 0;
 }
 
+/// Rule 6: a banned stage kernel invoked as a bare free function
+/// (`smooth_residual(...)`) rather than through a KernelPlan binding
+/// (`lev.plan.smooth_residual(...)` / `plan->smooth(...)`).
+void check_bare_stage_call(const fs::path& file, int lineno,
+                           const std::string& line) {
+  static const char* kStageKernels[] = {
+      "smooth",   "smooth_residual",   "smooth_varcoef",
+      "apply_op", "apply_op_varcoef",  "smooth_residual_varcoef"};
+  for (const char* word : kStageKernels) {
+    const std::string w(word);
+    for (std::size_t pos = line.find(w); pos != std::string::npos;
+         pos = line.find(w, pos + 1)) {
+      const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+      const std::size_t end = pos + w.size();
+      const bool is_call = end < line.size() && line[end] == '(';
+      if (!left_ok || !is_call) continue;
+      const bool via_member =
+          (pos >= 1 && line[pos - 1] == '.') ||
+          (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>');
+      if (!via_member) {
+        report(file, lineno,
+               "bare per-stage kernel call '" + w +
+                   "' in solver.cpp bypasses the KernelPlan specializer "
+                   "registry; invoke it through the plan bindings");
+      }
+    }
+  }
+}
+
 void check_source_file(const fs::path& root, const fs::path& file) {
   std::ifstream in(file);
   if (!in.good()) {
@@ -168,12 +211,66 @@ void check_source_file(const fs::path& root, const fs::path& file) {
       under(file, root / "src" / "trace") ||
       under(file, root / "src" / "perf") ||
       file.filename() == "timer.hpp" || file.filename() == "timer.cpp";
+  const bool is_fused_file =
+      under(file, root / "src") &&
+      file.filename().string().find("fused") != std::string::npos;
+  const bool is_solver_cpp =
+      file.filename() == "solver.cpp" && under(file, root / "src" / "gmg");
+
+  // Rule 5 state: brace depth distinguishes namespace-scope kernels
+  // (depth 1 inside `namespace gmg::... {`) from anonymous-namespace
+  // helpers (depth >= 2), which are covered by their callers' scopes.
+  int depth = 0;
+  bool in_kernel_fn = false;
+  int kernel_fn_line = 0;
+  bool kernel_has_loop = false;
+  bool kernel_has_scope = false;
 
   int lineno = 0;
   std::istringstream ls(code);
   std::string line;
   while (std::getline(ls, line)) {
     ++lineno;
+    if (is_fused_file) {
+      if (!in_kernel_fn && depth == 1 &&
+          (line.rfind("void ", 0) == 0 || line.rfind("real_t ", 0) == 0)) {
+        in_kernel_fn = true;
+        kernel_fn_line = lineno;
+        kernel_has_loop = false;
+        kernel_has_scope = false;
+      }
+      if (in_kernel_fn) {
+        if (line.find("parallel_for") != std::string::npos ||
+            line.find("for_each_row") != std::string::npos ||
+            line.find("for_each_plan_brick") != std::string::npos) {
+          kernel_has_loop = true;
+        }
+        if (line.find("scope_if_enabled") != std::string::npos ||
+            line.find("KernelScope") != std::string::npos) {
+          kernel_has_scope = true;
+        }
+      }
+      bool entered_body = false;
+      for (const char c : line) {
+        if (c == '{') {
+          ++depth;
+          if (in_kernel_fn) entered_body = true;
+        } else if (c == '}') {
+          --depth;
+        }
+      }
+      if (in_kernel_fn && depth <= 1 &&
+          (entered_body || line.find('}') != std::string::npos)) {
+        if (kernel_has_loop && !kernel_has_scope) {
+          report(file, kernel_fn_line,
+                 "fused kernel launches a parallel loop without declaring "
+                 "its access boxes (check::scope_if_enabled / KernelScope); "
+                 "GMG_CHECK cannot verify an undeclared footprint");
+        }
+        in_kernel_fn = false;
+      }
+    }
+    if (is_solver_cpp) check_bare_stage_call(file, lineno, line);
     // 1. Raw OpenMP parallelism in the deterministic-kernel dirs.
     if (in_kernel_dirs && line.find("#pragma omp") != std::string::npos &&
         line.find("omp simd") == std::string::npos) {
