@@ -16,7 +16,9 @@
 #      race detector must see scheduled live. The socket front's wire
 #      and server tests (§14: poll loop x executor completion
 #      callbacks x client threads) and the batched-solve suite (§15:
-#      the coalescer's hold-window handoff) ride in the same tree.
+#      the coalescer's hold-window handoff) ride in the same tree, as
+#      does the AMR composite suite (§17: patch smoothing and the
+#      interface kernels run through the same parallel_for engine).
 #
 #   4. A static stage: the gmg_lint invariant checker, clang-tidy over
 #      src/ when the binary is available (the CI image may only carry
@@ -80,6 +82,11 @@ echo "== tier 1: serve throughput smoke =="
 echo "== tier 1: socket front smoke =="
 ./build/tools/serve_front --smoke --shards 2
 
+# AMR refinement smoke (DESIGN.md §17): composite coarse+patch solve
+# vs a uniformly fine solve at a reduced size; writes BENCH_amr.json.
+echo "== tier 1: AMR refinement smoke =="
+./build/bench/amr_refine -s 32 -b 4
+
 SKIP_ASAN=0
 SKIP_TSAN=0
 for arg in "$@"; do
@@ -118,9 +125,11 @@ else
     -DGMG_NATIVE_ARCH=OFF >/dev/null
   cmake --build build-tsan -j"${JOBS}" \
     --target test_exec test_parallel_for test_simmpi test_exchange \
-             test_batch test_serve test_wire test_front test_fused
+             test_batch test_serve test_wire test_front test_fused \
+             test_amr
   for t in test_exec test_parallel_for test_simmpi test_exchange \
-           test_batch test_serve test_wire test_front test_fused; do
+           test_batch test_serve test_wire test_front test_fused \
+           test_amr; do
     echo "-- ${t} (tsan)"
     "./build-tsan/tests/${t}"
   done

@@ -1,0 +1,117 @@
+// Patch-based local refinement (src/amr): solve A u = b with
+// A = I - nu*Laplacian and a Gaussian source localized in the domain
+// center, refining only the central region with a 2x-finer brick
+// patch. Prints the composite convergence history and compares the
+// solution error on the refined region against an unrefined solve.
+//
+//   ./amr_localized -s 32 -b 4
+//
+// Flags: -s coarse cells per axis, -b brick dimension. The patch is
+// the central half-span box ([s/4, 3s/4)^3 in coarse cells, 12.5% of
+// the domain volume, solved at twice the resolution).
+#include <cmath>
+#include <iostream>
+
+#include "amr/composite_solver.hpp"
+#include "amr/hierarchy.hpp"
+#include "comm/simmpi.hpp"
+#include "common/options.hpp"
+#include "gmg/operators.hpp"
+
+using namespace gmg;
+
+namespace {
+
+constexpr real_t kNu = 1e-3;
+constexpr real_t kSigma = 0.05;
+
+real_t exact_u(real_t x, real_t y, real_t z) {
+  const real_t dx = x - 0.5, dy = y - 0.5, dz = z - 0.5;
+  return std::exp(-(dx * dx + dy * dy + dz * dz) / (2 * kSigma * kSigma));
+}
+
+real_t rhs(real_t x, real_t y, real_t z) {
+  const real_t s2 = kSigma * kSigma;
+  const real_t dx = x - 0.5, dy = y - 0.5, dz = z - 0.5;
+  const real_t r2 = dx * dx + dy * dy + dz * dz;
+  const real_t u = std::exp(-r2 / (2 * s2));
+  return u - kNu * u * (r2 / (s2 * s2) - 3 / s2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.add_flag("s", "coarse cells per axis", "32");
+  opt.add_flag("b", "brick dimension (2, 4 or 8)", "4");
+  try {
+    opt.parse(argc, argv);
+  } catch (const Error& e) {
+    std::cerr << e.what() << "\n" << opt.help(argv[0]);
+    return 1;
+  }
+  const index_t s = opt.get_int("s");
+  const index_t b = opt.get_int("b");
+
+  amr::AmrOptions aopts;
+  aopts.gmg.levels = 6;  // clamped to what s and b allow
+  aopts.gmg.smooths = 8;
+  aopts.gmg.bottom_smooths = 50;
+  aopts.gmg.brick = BrickShape::cube(b);
+  aopts.gmg.identity_coef = 1.0;
+  aopts.gmg.laplacian_coef = -kNu;
+  aopts.patch = Box{{s / 4, s / 4, s / 4},
+                    {3 * s / 4, 3 * s / 4, 3 * s / 4}};
+  aopts.tolerance = 1e-9;
+
+  const CartDecomp decomp({s, s, s}, {1, 1, 1});
+  comm::World world(1);
+  int exit_code = 0;
+  world.run([&](comm::Communicator& comm) {
+    amr::AmrHierarchy hier(aopts, decomp, 0);
+    std::cout << "Composite solve: " << s << "^3 coarse + 2x patch over "
+              << aopts.patch << " (" << hier.solver().num_levels()
+              << " coarse levels, brick " << b << "^3)\n";
+    hier.set_rhs(rhs);
+    amr::CompositeSolver solver(hier);
+    const amr::CompositeResult res = solver.solve(comm);
+    for (std::size_t i = 0; i < res.history.size(); ++i) {
+      std::cout << "  cycle " << i << ": max|r| = " << res.history[i]
+                << "\n";
+    }
+    std::cout << (res.converged ? "converged" : "NOT converged") << " in "
+              << res.cycles << " cycles, " << res.seconds << " s\n";
+
+    // Error against the manufactured solution on the inner half of
+    // the patch, composite vs an unrefined coarse-only solve.
+    GmgOptions copts = aopts.gmg;
+    copts.tolerance = 1e-10;
+    GmgSolver coarse(copts, decomp, 0);
+    coarse.set_rhs(rhs);
+    coarse.solve(comm);
+
+    const MgLevel& P = hier.patch();
+    const Vec3 plo = hier.geometry().part_fine.lo;
+    const real_t hf = P.h;
+    const real_t H = coarse.level(0).h;
+    const Box inner_fine = Box{{3 * s / 4, 3 * s / 4, 3 * s / 4},
+                               {5 * s / 4, 5 * s / 4, 5 * s / 4}};
+    real_t err_comp = 0, err_coarse = 0;
+    for_each(inner_fine, [&](index_t i, index_t j, index_t k) {
+      const real_t u =
+          exact_u((i + 0.5) * hf, (j + 0.5) * hf, (k + 0.5) * hf);
+      err_comp = std::max(
+          err_comp, std::abs(P.x(i - plo.x, j - plo.y, k - plo.z) - u));
+    });
+    for_each(coarsen(inner_fine, 2), [&](index_t i, index_t j, index_t k) {
+      const real_t u = exact_u((i + 0.5) * H, (j + 0.5) * H, (k + 0.5) * H);
+      err_coarse =
+          std::max(err_coarse, std::abs(coarse.solution()(i, j, k) - u));
+    });
+    std::cout << "max error on refined region: composite " << err_comp
+              << ", unrefined " << err_coarse << " ("
+              << err_coarse / err_comp << "x improvement)\n";
+    if (!res.converged || !(err_comp < err_coarse)) exit_code = 1;
+  });
+  return exit_code;
+}

@@ -1,12 +1,33 @@
 #include "brick/brick_grid.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "brick/brick_mask.hpp"
 #include "common/error.hpp"
+#include "trace/trace.hpp"
 
 namespace gmg {
 
-BrickGrid::BrickGrid(Vec3 interior_bricks) : nb_(interior_bricks) {
+namespace {
+
+// Default LRU capacity for the per-grid plan cache; override with
+// GMG_PLAN_CACHE_CAP (read once per process).
+std::size_t default_plan_cache_cap() {
+  static const std::size_t cap = [] {
+    if (const char* s = std::getenv("GMG_PLAN_CACHE_CAP")) {
+      const long v = std::atol(s);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(128);
+  }();
+  return cap;
+}
+
+}  // namespace
+
+BrickGrid::BrickGrid(Vec3 interior_bricks)
+    : nb_(interior_bricks), plan_cache_cap_(default_plan_cache_cap()) {
   GMG_REQUIRE(nb_.x > 0 && nb_.y > 0 && nb_.z > 0,
               "brick grid extents must be positive");
 
@@ -113,7 +134,7 @@ BrickPartition BrickGrid::partition(
 }
 
 std::shared_ptr<const BrickIterPlan> BrickGrid::build_plan(
-    const Box& active, Vec3 brick_dims) const {
+    const Box& active, Vec3 brick_dims, const BrickMask* mask) const {
   const Vec3 bd = brick_dims;
   auto plan = std::make_shared<BrickIterPlan>();
   plan->active = active;
@@ -134,6 +155,7 @@ std::shared_ptr<const BrickIterPlan> BrickGrid::build_plan(
   for_each(plan->brick_region, [&](index_t bx, index_t by, index_t bz) {
     const std::int32_t id = storage_id({bx, by, bz});
     GMG_ASSERT(id >= 0);
+    if (mask && !mask->test(id)) return;  // masked-out brick: skip
     BrickPlanItem it;
     it.id = id;
     it.coord = {bx, by, bz};
@@ -162,24 +184,58 @@ std::shared_ptr<const BrickIterPlan> BrickGrid::build_plan(
 }
 
 std::shared_ptr<const BrickIterPlan> BrickGrid::iteration_plan(
-    const Box& active, Vec3 brick_dims) const {
-  const PlanKey key{active, brick_dims};
+    const Box& active, Vec3 brick_dims, const BrickMask* mask) const {
+  if (mask) {
+    GMG_REQUIRE(mask->size() == total_,
+                "mask size must match the grid's brick count");
+  }
+  const PlanKey key{active, brick_dims, mask ? mask->unique_id() : 0,
+                    mask ? mask->version() : 0};
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
-    for (const auto& [k, p] : plan_cache_) {
-      if (k == key) return p;
+    for (auto it = plan_cache_.begin(); it != plan_cache_.end(); ++it) {
+      if (it->first == key) {
+        ++plan_stats_.hits;
+        trace::counter_add("brick.plan_cache.hit", 1);
+        std::rotate(it, it + 1, plan_cache_.end());  // move to MRU slot
+        return plan_cache_.back().second;
+      }
     }
+    ++plan_stats_.misses;
+    trace::counter_add("brick.plan_cache.miss", 1);
   }
-  auto plan = build_plan(active, brick_dims);
+  auto plan = build_plan(active, brick_dims, mask);
   std::lock_guard<std::mutex> lock(plan_mu_);
   for (const auto& [k, p] : plan_cache_) {  // lost a build race: reuse
     if (k == key) return p;
   }
-  // Cap the cache: a level sees only a handful of (active, dims) keys;
-  // anything past this is a pathological caller, served uncached.
-  constexpr std::size_t kMaxCachedPlans = 128;
-  if (plan_cache_.size() < kMaxCachedPlans) plan_cache_.emplace_back(key, plan);
+  // Bounded LRU: the uniform path sees only a handful of (active, dims)
+  // keys per level, but AMR masks multiply the key space (every mask
+  // version is a distinct key) — evict the least recently used entry
+  // rather than growing without bound.
+  while (plan_cache_.size() >= plan_cache_cap_ && !plan_cache_.empty()) {
+    plan_cache_.erase(plan_cache_.begin());
+    ++plan_stats_.evictions;
+  }
+  if (plan_cache_cap_ > 0) plan_cache_.emplace_back(key, plan);
   return plan;
+}
+
+BrickGrid::PlanCacheStats BrickGrid::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  PlanCacheStats s = plan_stats_;
+  s.entries = plan_cache_.size();
+  s.capacity = plan_cache_cap_;
+  return s;
+}
+
+void BrickGrid::set_plan_cache_capacity(std::size_t cap) const {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  plan_cache_cap_ = cap;
+  while (plan_cache_.size() > plan_cache_cap_) {
+    plan_cache_.erase(plan_cache_.begin());
+    ++plan_stats_.evictions;
+  }
 }
 
 std::vector<BrickRange> BrickGrid::segments_of(const Box& region) const {

@@ -22,6 +22,8 @@
 
 namespace gmg {
 
+class BrickMask;
+
 /// Contiguous run of bricks in storage order: [first, first+count).
 struct BrickRange {
   std::int32_t first = 0;
@@ -130,10 +132,37 @@ class BrickGrid {
   /// their brick list, storage ids, clip bounds, and adjacency pointers
   /// exactly once. Thread-safe. The grid is immutable, so plans are
   /// never invalidated; they simply must not outlive the grid (see
-  /// BrickIterPlan). A small fixed number of distinct keys is cached;
-  /// on overflow the plan is still built, just not retained.
-  std::shared_ptr<const BrickIterPlan> iteration_plan(const Box& active,
-                                                      Vec3 brick_dims) const;
+  /// BrickIterPlan).
+  ///
+  /// `mask` (optional) restricts the plan to the bricks whose storage
+  /// id tests true — AMR level masks (DESIGN.md §17). Masked plans keep
+  /// the full/clipped split and lexicographic order of the uniform
+  /// path; the cache keys on the mask's (unique_id, version), so
+  /// mutating a mask transparently misses to a fresh build.
+  ///
+  /// The cache is a bounded LRU (default 128 entries; override with
+  /// GMG_PLAN_CACHE_CAP or set_plan_cache_capacity): AMR masks
+  /// multiply the key space, and an unbounded memo would leak. Lookups
+  /// bump trace counters brick.plan_cache.{hit,miss}.
+  std::shared_ptr<const BrickIterPlan> iteration_plan(
+      const Box& active, Vec3 brick_dims,
+      const BrickMask* mask = nullptr) const;
+
+  /// Plan-cache observability (per grid). Counters are cumulative.
+  struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t capacity = 0;
+  };
+  PlanCacheStats plan_cache_stats() const;
+
+  /// Shrink-or-grow the LRU capacity (testing / tuning hook). Excess
+  /// least-recently-used entries are evicted immediately. Thread-safe;
+  /// const because the cache is already mutable state of a logically
+  /// immutable grid.
+  void set_plan_cache_capacity(std::size_t cap) const;
 
   /// The storage runs covering an arbitrary brick-coordinate region
   /// (adjacent storage ids merged). Used to build send segments.
@@ -166,18 +195,24 @@ class BrickGrid {
   std::array<BrickRange, kNumDirections> ghost_ranges_{};
 
   std::shared_ptr<const BrickIterPlan> build_plan(const Box& active,
-                                                  Vec3 brick_dims) const;
+                                                  Vec3 brick_dims,
+                                                  const BrickMask* mask) const;
 
   struct PlanKey {
     Box active;
     Vec3 brick_dims;
+    std::uint64_t mask_id = 0;       // 0 == unmasked
+    std::uint64_t mask_version = 0;  // 0 == unmasked
     friend bool operator==(const PlanKey&, const PlanKey&) = default;
   };
-  // Few distinct (active, dims) keys exist per level (one per kernel
-  // margin), so a linear scan beats a hash map here.
+  // Few distinct keys are live at once (one per kernel margin, times
+  // the active AMR masks), so an LRU list with linear scan beats a
+  // hash map here. Front is least recently used, back most recent.
   mutable std::mutex plan_mu_;
   mutable std::vector<std::pair<PlanKey, std::shared_ptr<const BrickIterPlan>>>
       plan_cache_;
+  mutable std::size_t plan_cache_cap_;
+  mutable PlanCacheStats plan_stats_{};
 };
 
 /// Floor division/modulo for mapping (possibly negative) ghost cell

@@ -1,0 +1,71 @@
+// Active-brick bitset for locally refined (AMR) levels.
+//
+// A mask selects a subset of a BrickGrid's bricks by storage id; the
+// memoized BrickGrid::iteration_plan accepts an optional mask and
+// filters the resolved BrickPlanItem list down to the selected bricks,
+// so masked sweeps reuse the full-brick/clipped split and compile-time
+// bounds of the uniform path (DESIGN.md §17). Masks carry a
+// process-unique id plus a version counter that together extend the
+// plan-cache key: mutating a mask invalidates exactly the plans built
+// against its old contents, nothing else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gmg {
+
+class BrickMask {
+ public:
+  /// A mask over `num_bricks` storage ids, initially all clear.
+  explicit BrickMask(std::int32_t num_bricks)
+      : bits_(static_cast<std::size_t>(num_bricks), 0),
+        uid_(next_unique_id()) {
+    GMG_REQUIRE(num_bricks >= 0, "mask size must be non-negative");
+  }
+
+  bool test(std::int32_t id) const {
+    return bits_[static_cast<std::size_t>(id)] != 0;
+  }
+
+  void set(std::int32_t id, bool on) {
+    auto& b = bits_[static_cast<std::size_t>(id)];
+    const std::uint8_t v = on ? 1 : 0;
+    if (b == v) return;
+    b = v;
+    ++version_;
+  }
+
+  std::int32_t size() const { return static_cast<std::int32_t>(bits_.size()); }
+
+  /// Number of selected bricks.
+  std::int64_t count() const {
+    std::int64_t n = 0;
+    for (const std::uint8_t b : bits_) n += b;
+    return n;
+  }
+
+  /// Process-unique identity of this mask object; part of the plan
+  /// cache key. Ids only distinguish cache entries — allocation order
+  /// never affects numerics.
+  std::uint64_t unique_id() const { return uid_; }
+
+  /// Bumped on every mutating set(); stale plan-cache entries keyed on
+  /// an older version are simply never hit again and age out via LRU.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  static std::uint64_t next_unique_id() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::vector<std::uint8_t> bits_;
+  std::uint64_t uid_ = 0;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace gmg

@@ -76,6 +76,44 @@ constexpr dsl::OffsetSet interpolation_trilinear_shape(int slot = 0) {
   return box_shape(1, slot);
 }
 
+/// AMR coarse–fine interface ghost prolongation (DESIGN.md §17): a
+/// fine ghost cell just outside a patch takes the cell-centered
+/// trilinear blend of coarse cells — per parity 8 taps, union over
+/// parities the radius-1 box of the parent, exactly the FMG
+/// interpolation footprint. Needs one valid coarse ghost layer where
+/// the patch face runs along a rank boundary.
+constexpr dsl::OffsetSet amr_interface_prolongation_shape(int slot = 0) {
+  return interpolation_trilinear_shape(slot);
+}
+
+/// AMR reflux (coarse–fine flux correction): per refined face of a
+/// coarse interface cell the kernel reads, in fine-cell coordinates
+/// anchored at the first fine cell inside the patch, the 2x2 fine
+/// layer inside the patch plus the matching prolonged ghost layer just
+/// outside — offsets {-1,0} along the face normal x {0,1}^2
+/// tangentially, 8 taps with reach 1 (`axis` 0/1/2 = x/y/z normal).
+constexpr dsl::OffsetSet reflux_fine_shape(int axis, int slot = 0) {
+  dsl::OffsetSet s;
+  for (int dn = -1; dn <= 0; ++dn) {
+    for (int dt = 0; dt <= 1; ++dt) {
+      for (int du = 0; du <= 1; ++du) {
+        int o[3] = {0, 0, 0};
+        o[axis] = dn;
+        o[(axis + 1) % 3] = dt;
+        o[(axis + 2) % 3] = du;
+        s.add(dsl::Tap{slot, o[0], o[1], o[2]});
+      }
+    }
+  }
+  return s;
+}
+
+/// Coarse-side reflux footprint: the interface cell and its covered
+/// face neighbor (the flux pair whose coarse flux is replaced).
+constexpr dsl::OffsetSet reflux_coarse_shape(int slot = 0) {
+  return star_shape(1, slot);
+}
+
 constexpr bool same_footprint(const dsl::OffsetSet& a,
                               const dsl::OffsetSet& b) {
   return a.same_taps(b);

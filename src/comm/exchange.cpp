@@ -13,6 +13,12 @@ namespace {
 /// sequence number.
 constexpr int kPerBrickTagStride = 64;
 int per_brick_tag(int dir, int seq) { return dir + kPerBrickTagStride * (seq + 1); }
+
+/// PatchExchange tags live in their own band, disjoint from both the
+/// plain direction tags (0..26) and every per-brick tag
+/// (dir + 64*(seq+1)): an AMR patch round can never collide with a
+/// parent-level BrickExchange left in flight by the overlap engine.
+constexpr int kPatchTagBase = 1 << 20;
 }  // namespace
 
 BrickExchange::BrickExchange(std::shared_ptr<const BrickGrid> grid,
@@ -285,6 +291,124 @@ void BrickExchange::finish(Communicator& comm) {
   }
   inflight_fields_.clear();
   in_flight_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// PatchExchange
+// ---------------------------------------------------------------------------
+
+PatchExchange::PatchExchange(std::shared_ptr<const BrickGrid> grid,
+                             BrickShape shape, const Box& patch,
+                             const Box& part, const CartDecomp& decomp,
+                             int rank)
+    : grid_(std::move(grid)), shape_(shape), rank_(rank) {
+  if (part.empty()) {
+    GMG_REQUIRE(grid_ == nullptr, "empty part must carry no brick grid");
+    return;  // this rank owns no patch bricks; nothing to exchange
+  }
+  GMG_REQUIRE(grid_ != nullptr, "null patch brick grid");
+  GMG_REQUIRE(patch.covers(part), "part must lie within the global patch");
+
+  // Only the 6 face directions: the radius-1 patch smoother never
+  // reads edge/corner ghost bricks, so those groups stay untouched.
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int side = -1; side <= 1; side += 2) {
+      int off[3] = {0, 0, 0};
+      off[axis] = side;
+      const int dir = direction_index(off[0], off[1], off[2]);
+      const Box ghost = ghost_region(part, dir, 1);
+      const Box inside = intersect(ghost, patch);
+      if (inside.empty()) continue;  // patch boundary: prolonged ghosts
+      GMG_REQUIRE(inside == ghost,
+                  "patch part face must be entirely interior to the patch or "
+                  "entirely on its boundary");
+      DirectionPlan plan;
+      plan.dir = dir;
+      plan.neighbor = decomp.neighbor(rank, dir);
+      GMG_REQUIRE(plan.neighbor != rank,
+                  "a fine-filled patch face cannot wrap onto its own rank");
+      plan.send_runs = grid_->segments_of(grid_->surface_box(dir));
+      plan.recv_range = grid_->ghost_range(dir);
+      bytes_per_exchange_ += static_cast<std::uint64_t>(plan.recv_range.count) *
+                             static_cast<std::uint64_t>(shape_.volume()) *
+                             kRealBytes;
+      plans_.push_back(std::move(plan));
+    }
+  }
+}
+
+bool PatchExchange::is_fine_filled(int dir) const {
+  for (const DirectionPlan& plan : plans_) {
+    if (plan.dir == dir) return true;
+  }
+  return false;
+}
+
+void PatchExchange::exchange(Communicator& comm, BrickedArray& field) {
+  std::vector<BrickedArray*> one{&field};
+  exchange(comm, one);
+}
+
+void PatchExchange::exchange(Communicator& comm,
+                             std::vector<BrickedArray*> fields) {
+  if (plans_.empty()) return;  // bilateral: nobody is sending to us either
+  GMG_REQUIRE(!fields.empty(), "no fields to exchange");
+  for (BrickedArray* f : fields) {
+    GMG_REQUIRE(f->grid_ptr().get() == grid_.get(),
+                "field does not share this engine's patch brick grid");
+  }
+  const std::size_t brick_bytes =
+      static_cast<std::size_t>(shape_.volume()) * kRealBytes;
+
+  trace::counter_add("exchange.bytes", bytes_per_exchange_ * fields.size());
+  trace::counter_add("exchange.remote_bytes",
+                     bytes_per_exchange_ * fields.size());
+  trace::counter_add("exchange.calls", 1);
+
+  std::vector<Request> requests;
+  requests.reserve(plans_.size() * 2);
+  {
+    trace::TraceSpan span("exchange.recv_post", trace::Category::kComm);
+    for (const DirectionPlan& plan : plans_) {
+      const int tag = kPatchTagBase + opposite_direction(plan.dir);
+      std::vector<Segment> segs;
+      segs.reserve(fields.size());
+      for (BrickedArray* f : fields) {
+        segs.push_back(Segment{
+            f->brick(plan.recv_range.first),
+            static_cast<std::size_t>(plan.recv_range.count) * brick_bytes});
+      }
+      requests.push_back(comm.irecvv(std::move(segs), plan.neighbor, tag));
+    }
+  }
+  {
+    trace::TraceSpan span("exchange.send", trace::Category::kComm);
+    for (const DirectionPlan& plan : plans_) {
+      std::vector<ConstSegment> segs;
+      for (BrickedArray* f : fields) {
+        for (const BrickRange& run : plan.send_runs) {
+          segs.emplace_back(f->brick(run.first),
+                            static_cast<std::size_t>(run.count) * brick_bytes);
+        }
+      }
+      requests.push_back(
+          comm.isendv(std::move(segs), plan.neighbor, kPatchTagBase + plan.dir));
+    }
+  }
+  if (check::enabled()) {
+    std::vector<BrickRange> ghost;
+    for (const DirectionPlan& plan : plans_) ghost.push_back(plan.recv_range);
+    for (BrickedArray* f : fields) {
+      check::on_exchange_begin(f->data(), grid_.get(), ghost);
+    }
+  }
+  {
+    trace::TraceSpan span("exchange.wait", trace::Category::kWait);
+    comm.wait_all(requests);
+  }
+  if (check::enabled()) {
+    for (BrickedArray* f : fields) check::on_exchange_finish(f->data());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -103,6 +103,61 @@ class BrickExchange {
   bool in_flight_ = false;
 };
 
+/// Masked ghost exchange for an AMR patch part (DESIGN.md §17).
+///
+/// A refined patch is decomposed by the same rank grid as its parent
+/// level; each rank owns the intersection of the global fine patch box
+/// with its (refined) subdomain. Only *fine-filled* faces exchange: a
+/// face of the part whose one-cell ghost layer is still inside the
+/// global patch (i.e. a rank-internal cut through the patch). Faces on
+/// the patch boundary receive prolonged coarse data instead and post
+/// no messages; edge/corner ghost groups are never read by the
+/// radius-1 patch smoother and are skipped entirely — the "masked"
+/// part of the exchange. Sends move whole surface bricks pack-free,
+/// receives land in the contiguous ghost ranges, exactly like
+/// BrickExchange::kPackFree; the round is blocking (patch surfaces are
+/// small, split-phase overlap buys nothing here). Messages use a
+/// disjoint tag base so an in-flight BrickExchange on the parent level
+/// can never collide.
+class PatchExchange {
+ public:
+  /// `grid`/`shape`: the patch part's brick grid on this rank (null
+  /// iff `part` is empty — the rank owns no patch bricks). `patch`:
+  /// the global fine patch box; `part`: this rank's fine-cell part of
+  /// it in global fine coordinates. `decomp` is the parent level's
+  /// rank decomposition. Every part face must be entirely fine-filled
+  /// or entirely patch boundary (guaranteed when the patch is
+  /// brick-aligned and its faces lie strictly inside ranks).
+  PatchExchange(std::shared_ptr<const BrickGrid> grid, BrickShape shape,
+                const Box& patch, const Box& part, const CartDecomp& decomp,
+                int rank);
+
+  /// Fill the fine-filled ghost groups of the fields from the
+  /// neighboring parts. Blocking; collective over the ranks whose
+  /// parts share faces (bilateral plans, so no global participation
+  /// requirement — ranks without messages return immediately).
+  void exchange(Communicator& comm, BrickedArray& field);
+  void exchange(Communicator& comm, std::vector<BrickedArray*> fields);
+
+  bool is_fine_filled(int dir) const;
+  int fine_filled_count() const { return static_cast<int>(plans_.size()); }
+  std::uint64_t bytes_per_exchange() const { return bytes_per_exchange_; }
+
+ private:
+  struct DirectionPlan {
+    int dir = 0;
+    int neighbor = -1;
+    std::vector<BrickRange> send_runs;  // surface bricks facing dir
+    BrickRange recv_range;              // contiguous ghost range
+  };
+
+  std::shared_ptr<const BrickGrid> grid_;
+  BrickShape shape_;
+  int rank_ = 0;
+  std::vector<DirectionPlan> plans_;
+  std::uint64_t bytes_per_exchange_ = 0;
+};
+
 /// Conventional ghosted-array exchange with depth `g` ghost cells.
 class ArrayExchange {
  public:

@@ -44,6 +44,27 @@ constexpr auto box_27pt(real_t c0, real_t c1, real_t c2, real_t c3) {
          Coef(c3) * corners;
 }
 
+/// Cell-centered coarse–fine interface prolongation (AMR, DESIGN.md
+/// §17) for one fine-cell parity: `sx, sy, sz` in {-1, +1} give the
+/// side of the parent coarse cell the fine center sits on, and the
+/// blend is the cell-centered trilinear 3/4·near + 1/4·far per axis.
+/// The union of the eight parity footprints is the radius-1 box —
+/// check::amr_interface_prolongation_shape(); the AMR interface kernel
+/// static_asserts both that union and the per-parity weights' sum.
+template <int Slot = 0>
+constexpr auto cf_interface_prolongation(int sx, int sy, int sz) {
+  Grid<Slot> x;
+  const real_t wn = 0.75, wf = 0.25;
+  return Coef(wn * wn * wn) * x(i, j, k) +
+         Coef(wf * wn * wn) * x(i + sx, j, k) +
+         Coef(wn * wf * wn) * x(i, j + sy, k) +
+         Coef(wf * wf * wn) * x(i + sx, j + sy, k) +
+         Coef(wn * wn * wf) * x(i, j, k + sz) +
+         Coef(wf * wn * wf) * x(i + sx, j, k + sz) +
+         Coef(wn * wf * wf) * x(i, j + sy, k + sz) +
+         Coef(wf * wf * wf) * x(i + sx, j + sy, k + sz);
+}
+
 /// Star stencil of radius R with per-distance coefficients:
 /// c[0]*center + sum_d c[d]*(6 neighbors at distance d). Exercises the
 /// DSL and the brick engine's shell/core split at larger radii.

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <optional>
 
+#include "brick/brick_mask.hpp"
 #include "brick/brick_plan.hpp"
 #include "check/shadow.hpp"
 #include "dsl/apply_brick.hpp"
@@ -32,12 +33,10 @@ inline std::uint64_t box_points(const Box& b) {
 /// (base, 0, BD::volume) — element-wise kernels don't care about row
 /// structure, so the straight-line loop replaces bz*by row calls.
 template <typename BD, typename Fn>
-void for_each_row(BD, const char* name, const BrickGrid& grid,
-                  const Box& active, Fn&& fn) {
-  const auto plan =
-      grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
-  for_each_plan_brick<BD>(name, *plan, [&](const BrickPlanItem& it,
-                                           auto full) {
+void for_each_row_plan(BD, const char* name, const BrickIterPlan& plan,
+                       Fn&& fn) {
+  for_each_plan_brick<BD>(name, plan, [&](const BrickPlanItem& it,
+                                          auto full) {
     const std::size_t brick_base = static_cast<std::size_t>(it.id) * BD::volume;
     if constexpr (decltype(full)::value) {
       fn(brick_base, index_t{0}, static_cast<index_t>(BD::volume));
@@ -51,6 +50,13 @@ void for_each_row(BD, const char* name, const BrickGrid& grid,
       }
     }
   });
+}
+
+template <typename BD, typename Fn>
+void for_each_row(BD, const char* name, const BrickGrid& grid,
+                  const Box& active, Fn&& fn) {
+  const auto plan = grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
+  for_each_row_plan(BD{}, name, *plan, fn);
 }
 
 /// The brick-coordinate cover of the taps of `active` at stencil
@@ -83,14 +89,16 @@ namespace {
 /// instantiate the body with compile-time whole-brick bounds.
 template <typename BD>
 void apply_op_7pt(BD, BrickedArray& Ax, const BrickedArray& x, real_t alpha,
-                  real_t beta, const Box& active) {
+                  real_t beta, const Box& active,
+                  const BrickMask* mask = nullptr) {
   const BrickGrid& grid = x.grid();
   GMG_REQUIRE(&Ax.grid() == &grid, "fields must share a brick grid");
   const real_t* __restrict xp = x.data();
   real_t* __restrict op = Ax.data();
 
   require_taps_in_grid(BD{}, grid, active, 1);
-  const auto plan = grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz});
+  const auto plan =
+      grid.iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz}, mask);
 
   for_each_plan_brick<BD>("kernel.applyOp", *plan, [&](const BrickPlanItem& it,
                                                        auto full) {
@@ -182,6 +190,23 @@ void apply_op(BrickedArray& Ax, const BrickedArray& x, real_t alpha,
   });
 }
 
+void apply_op(BrickedArray& Ax, const BrickedArray& x, real_t alpha,
+              real_t beta, const Box& active, const BrickMask& mask) {
+  // Masked variant (AMR composite levels): only bricks selected by
+  // `mask` are computed; taps may still read de-selected neighbor
+  // bricks, which on a composite level hold the restricted fine
+  // solution. Write/read declarations stay the conservative active
+  // box — the shadow tracker needs no mask awareness.
+  trace::TraceSpan span("kernel.applyOpMasked");
+  count_flops(box_points(active), 8);
+  const auto scope = check::scope_if_enabled(
+      "kernel.applyOpMasked", {check::access(Ax, active)},
+      {check::access(x, grow(active, 1))});
+  with_brick_dims(x.shape(), [&](auto bd) {
+    apply_op_7pt(bd, Ax, x, alpha, beta, active, &mask);
+  });
+}
+
 void smooth(BrickedArray& x, const BrickedArray& Ax, const BrickedArray& b,
             real_t gamma, const Box& active) {
   trace::TraceSpan span("kernel.smooth");
@@ -247,6 +272,30 @@ void residual(BrickedArray& r, const BrickedArray& b, const BrickedArray& Ax,
                      rp[o + i] = bp[o + i] - axp[o + i];
                    }
                  });
+  });
+}
+
+void residual(BrickedArray& r, const BrickedArray& b, const BrickedArray& Ax,
+              const Box& active, const BrickMask& mask) {
+  trace::TraceSpan span("kernel.residualMasked");
+  count_flops(box_points(active), 1);
+  const auto scope = check::scope_if_enabled(
+      "kernel.residualMasked", {check::access(r, active)},
+      {check::access(b, active), check::access(Ax, active)});
+  with_brick_dims(r.shape(), [&](auto bd) {
+    using BD = decltype(bd);
+    real_t* __restrict rp = r.data();
+    const real_t* __restrict axp = Ax.data();
+    const real_t* __restrict bp = b.data();
+    const auto plan =
+        r.grid().iteration_plan(active, Vec3{BD::bx, BD::by, BD::bz}, &mask);
+    for_each_row_plan(bd, "kernel.residualMasked", *plan,
+                      [&](std::size_t o, index_t ilo, index_t ihi) {
+#pragma omp simd
+                        for (index_t i = ilo; i < ihi; ++i) {
+                          rp[o + i] = bp[o + i] - axp[o + i];
+                        }
+                      });
   });
 }
 

@@ -16,9 +16,17 @@
 
 namespace gmg {
 
+class BrickMask;
+
 /// Ax = alpha*x + beta * (6-point neighbor sum) over `active`.
 void apply_op(BrickedArray& Ax, const BrickedArray& x, real_t alpha,
               real_t beta, const Box& active);
+
+/// Masked applyOp (AMR composite levels, DESIGN.md §17): computes only
+/// the bricks selected by `mask`; taps may read de-selected neighbors
+/// (on a composite level those hold the restricted fine solution).
+void apply_op(BrickedArray& Ax, const BrickedArray& x, real_t alpha,
+              real_t beta, const Box& active, const BrickMask& mask);
 
 /// x += gamma * (Ax - b) over `active`.
 void smooth(BrickedArray& x, const BrickedArray& Ax, const BrickedArray& b,
@@ -32,6 +40,10 @@ void smooth_residual(BrickedArray& x, BrickedArray& r, const BrickedArray& Ax,
 /// r = b - Ax over `active`.
 void residual(BrickedArray& r, const BrickedArray& b, const BrickedArray& Ax,
               const Box& active);
+
+/// Masked residual: r = b - Ax on the bricks selected by `mask` only.
+void residual(BrickedArray& r, const BrickedArray& b, const BrickedArray& Ax,
+              const Box& active, const BrickMask& mask);
 
 /// coarse(i,j,k) = average of the 8 fine cells it covers. Operates on
 /// the full interiors; the grids must satisfy fine extent == 2x coarse

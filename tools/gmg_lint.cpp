@@ -7,7 +7,7 @@
 // specific to this codebase and that no generic checker knows about:
 //
 //   1. No raw `#pragma omp parallel` in src/gmg, src/dsl, src/brick,
-//      src/check or src/batch
+//      src/check, src/batch or src/amr
 //      (`omp simd` is fine): all parallelism must go through the
 //      exec:: runtime so chunk plans stay deterministic and the
 //      src/check hazard tracker sees every launch. The two sanctioned
@@ -23,14 +23,16 @@
 //      trace/perf clock wrappers: kernels and solvers must be bitwise
 //      reproducible run-to-run.
 //   4. The top-level CMakeLists.txt must keep -ffp-contract=off.
-//   5. In fused-kernel files (any src/ file named *fused*), every
-//      public top-level kernel (namespace-scope `void`/`real_t`
-//      function outside the anonymous namespace) that launches a
-//      parallel loop (parallel_for / for_each_row /
-//      for_each_plan_brick) must register its access boxes with the
-//      hazard detector (check::scope_if_enabled or KernelScope):
-//      a fused pass touches several fields across two levels, exactly
-//      the kind of footprint GMG_CHECK exists to verify.
+//   5. In fused-kernel files (any src/ file named *fused*) and in
+//      src/amr, every public top-level kernel (namespace-scope
+//      `void`/`real_t` function outside the anonymous namespace) that
+//      launches a parallel loop (parallel_for / for_each_row /
+//      for_each_plan_brick / sweep_rows) must register its access
+//      boxes with the hazard detector (check::scope_if_enabled or
+//      KernelScope): fused passes and the AMR interface kernels
+//      (reflux, interface prolongation, covered-region transfers)
+//      touch several fields across two levels, exactly the kind of
+//      footprint GMG_CHECK exists to verify.
 //   6. In src/gmg/solver.cpp, the per-stage kernels (smooth,
 //      smooth_residual, smooth_varcoef, smooth_residual_varcoef,
 //      apply_op, apply_op_varcoef) may only be invoked through the
@@ -204,7 +206,8 @@ void check_source_file(const fs::path& root, const fs::path& file) {
                               under(file, root / "src" / "dsl") ||
                               under(file, root / "src" / "brick") ||
                               under(file, root / "src" / "check") ||
-                              under(file, root / "src" / "batch");
+                              under(file, root / "src" / "batch") ||
+                              under(file, root / "src" / "amr");
   const bool in_rng = file.filename() == "rng.hpp" &&
                       under(file, root / "src" / "common");
   const bool in_clock_wrapper =
@@ -214,6 +217,9 @@ void check_source_file(const fs::path& root, const fs::path& file) {
   const bool is_fused_file =
       under(file, root / "src") &&
       file.filename().string().find("fused") != std::string::npos;
+  // Rule 5 covers fused passes and the AMR interface kernels alike.
+  const bool scan_kernel_scopes =
+      is_fused_file || under(file, root / "src" / "amr");
   const bool is_solver_cpp =
       file.filename() == "solver.cpp" && under(file, root / "src" / "gmg");
 
@@ -231,7 +237,7 @@ void check_source_file(const fs::path& root, const fs::path& file) {
   std::string line;
   while (std::getline(ls, line)) {
     ++lineno;
-    if (is_fused_file) {
+    if (scan_kernel_scopes) {
       if (!in_kernel_fn && depth == 1 &&
           (line.rfind("void ", 0) == 0 || line.rfind("real_t ", 0) == 0)) {
         in_kernel_fn = true;
@@ -242,7 +248,8 @@ void check_source_file(const fs::path& root, const fs::path& file) {
       if (in_kernel_fn) {
         if (line.find("parallel_for") != std::string::npos ||
             line.find("for_each_row") != std::string::npos ||
-            line.find("for_each_plan_brick") != std::string::npos) {
+            line.find("for_each_plan_brick") != std::string::npos ||
+            line.find("sweep_rows") != std::string::npos) {
           kernel_has_loop = true;
         }
         if (line.find("scope_if_enabled") != std::string::npos ||
@@ -263,7 +270,7 @@ void check_source_file(const fs::path& root, const fs::path& file) {
           (entered_body || line.find('}') != std::string::npos)) {
         if (kernel_has_loop && !kernel_has_scope) {
           report(file, kernel_fn_line,
-                 "fused kernel launches a parallel loop without declaring "
+                 "kernel launches a parallel loop without declaring "
                  "its access boxes (check::scope_if_enabled / KernelScope); "
                  "GMG_CHECK cannot verify an undeclared footprint");
         }
