@@ -10,8 +10,12 @@
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "check/schedule.hpp"
 #include "common/table.hpp"
+#include "common/timer.hpp"
 #include "exec/runtime.hpp"
+#include "gmg/schedule_audit.hpp"
+#include "gmg/solver.hpp"
 
 using namespace gmg;
 
@@ -117,6 +121,43 @@ int main(int argc, char** argv) {
   bench::note("  fused/split speedup = " +
               std::to_string(fd.split_sum() / fd.fused));
 
+  // --- setup-time schedule verification (DESIGN.md §18): what the
+  // static proof costs relative to the solver setup it rides on. The
+  // ctor hook is disabled so the record+verify phases are timed
+  // separately from hierarchy construction; the proof covers both the
+  // V-cycle and FMG schedules, exactly what the constructor proves.
+  bench::section(
+      "Schedule verification overhead — record + prove the planned "
+      "V-cycle/FMG launch sequences vs solver setup, 128^3, bricks 8^3");
+  const bool verify_was = check::verify_schedule_enabled();
+  check::set_verify_schedule_enabled(false);
+  const index_t vn = 128;  // production-shape setup: allocation,
+                           // first-touch and plan builds dominate
+  double setup_s = 1e300, proof_s = 1e300;
+  std::size_t proof_steps = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const CartDecomp decomp({vn, vn, vn}, {1, 1, 1});
+    Timer tm;
+    GmgSolver solver(GmgOptions{}, decomp, 0);
+    setup_s = std::min(setup_s, tm.elapsed());
+    tm.restart();
+    const check::Schedule sched = record_solver_schedule(solver);
+    const check::Schedule fmg = record_fmg_schedule(solver);
+    check::ScheduleVerifier().verify(sched);
+    check::ScheduleVerifier().verify(fmg);
+    proof_s = std::min(proof_s, tm.elapsed());
+    proof_steps = sched.steps.size() + fmg.steps.size();
+  }
+  check::set_verify_schedule_enabled(verify_was);
+  const double verify_pct = 100.0 * proof_s / setup_s;
+  Table vt({"phase", "wall_s"});
+  vt.row().cell("solver setup").cell(setup_s, 6);
+  vt.row().cell("record + prove").cell(proof_s, 6);
+  vt.print();
+  bench::note("  proof overhead = " + std::to_string(verify_pct) +
+              "% of setup over " + std::to_string(proof_steps) +
+              " schedule steps (budget: 5%)");
+
   std::ofstream os("BENCH_kernel_runtime.json");
   os << "{\n  \"bench\": \"micro_runtime\",\n"
      << "  \"n\": " << n << ",\n  \"brick_dim\": " << bdim << ",\n"
@@ -134,6 +175,12 @@ int main(int argc, char** argv) {
      << "    \"fused_gstencil_per_s\": " << fused_gsps << ",\n"
      << "    \"fused_over_split_speedup\": " << fd.split_sum() / fd.fused
      << "\n  },\n"
+     << "  \"schedule_verify\": {\n"
+     << "    \"setup_s\": " << setup_s << ",\n"
+     << "    \"proof_s\": " << proof_s << ",\n"
+     << "    \"proof_steps\": " << proof_steps << ",\n"
+     << "    \"overhead_pct\": " << verify_pct << ",\n"
+     << "    \"budget_pct\": 5\n  },\n"
      << "  \"configs\": [\n";
   for (std::size_t ci = 0; ci < configs.size(); ++ci) {
     const Config& cfg = configs[ci];

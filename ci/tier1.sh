@@ -38,8 +38,19 @@ cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
 echo "== tier 1: static stage =="
+echo "-- gmg_lint self-tests (tokenizer + per-rule known-bad/known-good)"
+./build/tools/gmg_lint --self-test
 echo "-- gmg_lint"
 ./build/tools/gmg_lint .
+# Schedule-verifier dry runs (DESIGN.md §18): record + statically prove
+# the planned launch/exchange sequences of the smoother matrix, the
+# K=4 batched solve, and the AMR composite cycle — both fusion states —
+# without executing a sweep. The overhead assertion keeps the setup-time
+# proof cheap enough to stay on by default (GMG_VERIFY_SCHEDULE).
+echo "-- schedule verifier dry-run, fusion on"
+GMG_FUSE_STAGES=1 ./build/tools/schedule_audit --amr --assert-overhead 5
+echo "-- schedule verifier dry-run, fusion off"
+GMG_FUSE_STAGES=0 ./build/tools/schedule_audit --amr --assert-overhead 5
 if command -v run-clang-tidy >/dev/null 2>&1; then
   echo "-- clang-tidy (src/)"
   run-clang-tidy -p build -quiet "src/.*\.cpp$"

@@ -1,0 +1,29 @@
+// Dry-run schedule recording for the AMR composite cycle
+// (DESIGN.md §18). Records the full planned launch sequence of one
+// composite-residual evaluation plus one composite cycle — the masked
+// uncovered-brick coarse kernels (with their scheduled and covered
+// storage-id sets, so the verifier can prove a masked plan never
+// sweeps a covered brick), the interface prolong/reflux/restrict
+// kernels spanning the coarse level and the synthetic patch level,
+// the patch-exchange rounds, and the embedded correction V-cycles
+// walked by the same ScheduleWalker the solo solver verifies with.
+#pragma once
+
+#include "check/schedule.hpp"
+
+namespace gmg::amr {
+
+class AmrHierarchy;
+
+/// Record the planned composite schedule: initial composite residual,
+/// then one full cycle (correction solve, correction application,
+/// patch smooth, slave restriction, closing residual). The patch part
+/// appears as synthetic level index solver().num_levels().
+check::Schedule record_composite_schedule(const AmrHierarchy& h);
+
+/// Record and statically verify; throws gmg::Error naming the
+/// offending step pair. Called from the AmrHierarchy constructor when
+/// check::verify_schedule_enabled().
+void verify_composite_schedule(const AmrHierarchy& h);
+
+}  // namespace gmg::amr

@@ -8,6 +8,14 @@
 
 namespace gmg::amr {
 
+void CompositeSolver::exchange_coarse_solution(comm::Communicator& comm) {
+  h_.solver().level(0).exchange->exchange(comm, h_.xH());
+}
+
+void CompositeSolver::exchange_patch_solution(comm::Communicator& comm) {
+  h_.patch_exchange().exchange(comm, h_.patch().x);
+}
+
 real_t CompositeSolver::composite_residual(comm::Communicator& comm) {
   trace::TraceSpan span("amr.compositeResidual");
   MgLevel& L0 = h_.solver().level(0);
@@ -18,10 +26,10 @@ real_t CompositeSolver::composite_residual(comm::Communicator& comm) {
   // prolongation taps reach one coarse ghost cell where a patch face
   // runs along a rank boundary), then the prolonged interface layer,
   // then the fine–fine round.
-  L0.exchange->exchange(comm, h_.xH());
+  exchange_coarse_solution(comm);
   if (h_.has_part()) {
     prolong_interface_ghosts(P.x, h_.xH(), g);
-    h_.patch_exchange().exchange(comm, P.x);
+    exchange_patch_solution(comm);
     P.plan.apply(P.Ax, P.x, P.interior());
     residual(P.r, P.b, P.Ax, P.interior());
   }
@@ -62,16 +70,15 @@ void CompositeSolver::correction_solve(comm::Communicator& comm) {
 void CompositeSolver::patch_smooth(comm::Communicator& comm) {
   trace::TraceSpan span("amr.patchSmooth");
   MgLevel& P = h_.patch();
-  MgLevel& L0 = h_.solver().level(0);
   // Dirichlet closure: prolong the interface ghosts from the current
   // coarse solution once and freeze them for the whole sweep block;
   // only fine–fine ghosts are re-exchanged per sweep.
-  L0.exchange->exchange(comm, h_.xH());
+  exchange_coarse_solution(comm);
   if (h_.has_part()) {
     prolong_interface_ghosts(P.x, h_.xH(), h_.geometry());
   }
   for (int s = 0; s < h_.options().patch_smooths; ++s) {
-    h_.patch_exchange().exchange(comm, P.x);
+    exchange_patch_solution(comm);
     if (h_.has_part()) {
       P.plan.apply(P.Ax, P.x, P.interior());
       P.plan.smooth(P.interior());

@@ -45,6 +45,12 @@ class CompositeSolver {
   void correction_solve(comm::Communicator& comm);
   void patch_smooth(comm::Communicator& comm);
 
+  /// The sanctioned ghost-round entry points (gmg_lint rule 8): one
+  /// coarse-engine round over the composite solution, one masked
+  /// fine–fine patch round.
+  void exchange_coarse_solution(comm::Communicator& comm);
+  void exchange_patch_solution(comm::Communicator& comm);
+
   AmrHierarchy& h_;
 };
 

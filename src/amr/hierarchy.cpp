@@ -1,5 +1,6 @@
 #include "amr/hierarchy.hpp"
 
+#include "amr/composite_audit.hpp"
 #include "common/error.hpp"
 #include "gmg/kernel_plan.hpp"
 #include "gmg/operators.hpp"
@@ -104,6 +105,11 @@ AmrHierarchy::AmrHierarchy(const AmrOptions& opts, const CartDecomp& decomp,
   pexch_ = std::make_unique<comm::PatchExchange>(
       has_part() ? patch_.grid : nullptr, L0.shape, geom_.patch_fine,
       geom_.part_fine, decomp, rank);
+
+  // The correction-solve schedule was already proven by the embedded
+  // GmgSolver's constructor; this proves the composite cycle around it
+  // (masked coarse passes, interface kernels, patch rounds).
+  if (check::verify_schedule_enabled()) verify_composite_schedule(*this);
 }
 
 void AmrHierarchy::set_rhs(

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "brick/bricked_array.hpp"
+#include "check/effects.hpp"
 #include "common/types.hpp"
 #include "mesh/box.hpp"
 
@@ -62,5 +63,43 @@ void restrict_patch(BrickedArray& coarse, const BrickedArray& fine,
 /// on constants, so the covered coarse solution stays slaved).
 void correct_patch(BrickedArray& px, const BrickedArray& e,
                    const InterfaceGeometry& g);
+
+// Static effect summaries (check/effects.hpp, DESIGN.md §18). Roles:
+// `patch_x` is the fine patch field, `xH`/`rH` the composite coarse
+// fields. Reaches restate the interface footprints pinned in
+// check/footprint.hpp.
+
+/// Writes the one-cell interface ghost layer of the patch (the
+/// recorded access box carries the ghost spill); trilinear coarse taps
+/// reach one coarse ghost layer.
+constexpr check::EffectSummary prolong_interface_ghosts_effects() {
+  return check::EffectSummary("amr.prolongGhosts")
+      .writes("patch_x")
+      .reads("xH", 1);
+}
+
+/// Coarse-side taps reach the face-adjacent covered neighbor (radius
+/// 1); fine-side taps read the patch's first interior cells and its
+/// prolonged interface ghosts (radius 1 on the patch level).
+constexpr check::EffectSummary reflux_residual_effects() {
+  return check::EffectSummary("amr.reflux")
+      .writes("rH")
+      .reads("rH")
+      .reads("xH", 1)
+      .reads("patch_x", 1);
+}
+
+constexpr check::EffectSummary restrict_patch_effects() {
+  return check::EffectSummary("amr.restrictPatch")
+      .writes("coarse")
+      .reads("fine");
+}
+
+constexpr check::EffectSummary correct_patch_effects() {
+  return check::EffectSummary("amr.correctPatch")
+      .writes("patch_x")
+      .reads("patch_x")
+      .reads("coarse");
+}
 
 }  // namespace gmg::amr

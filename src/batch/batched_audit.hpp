@@ -1,0 +1,28 @@
+// Dry-run schedule recording for BatchedSolver (DESIGN.md §18). The
+// batched schedule is the solo walker's launch/exchange structure —
+// the K-component twin kernels share the solo effect summaries and the
+// BatchLevel margin algebra is identical — widened to K reduction
+// components: residual_norms contributes one retirement-masked norm
+// per active component (ascending), the bottom CG contributes
+// unconditional whole-batch collective groups, and a representative
+// retirement between recorded cycles proves that shrinking the active
+// set can never reorder or resurrect a collective.
+#pragma once
+
+#include "check/schedule.hpp"
+
+namespace gmg::batch {
+
+class BatchedSolver;
+
+/// Record the planned batched schedule: an initial convergence check,
+/// one full cycle with every component active, the representative
+/// retirement of component 0, and a second cycle over the survivors.
+check::Schedule record_batched_schedule(const BatchedSolver& bs);
+
+/// Record and statically verify; throws gmg::Error naming the
+/// offending step pair. Called from the BatchedSolver constructor when
+/// check::verify_schedule_enabled().
+void verify_batched_schedule(const BatchedSolver& bs);
+
+}  // namespace gmg::batch

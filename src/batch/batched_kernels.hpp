@@ -15,6 +15,9 @@
 
 #include "batch/batched_array.hpp"
 #include "common/types.hpp"
+#include "gmg/fused_kernels.hpp"
+#include "gmg/operators.hpp"
+#include "gmg/operators_varcoef.hpp"
 
 namespace gmg::batch {
 
@@ -137,5 +140,82 @@ void cheby_p_update_varcoef(BatchedBrickedArray& p,
                             const BatchedBrickedArray& r,
                             const BrickedArray& diag, real_t beta_ch,
                             const Box& active);
+
+// Static effect summaries (check/effects.hpp, DESIGN.md §18). Every
+// batched kernel is the K-systems twin of a solo one and applies the
+// SAME expression over the same base-cell footprint (the bitwise
+// contract above), so its effect summary delegates to the solo
+// kernel's — per-base-cell reads and writes are identical, only the
+// innermost component fold differs.
+
+constexpr check::EffectSummary apply_op_effects(int radius) {
+  return ::gmg::apply_op_effects(radius);
+}
+constexpr check::EffectSummary smooth_effects() {
+  return ::gmg::smooth_effects();
+}
+constexpr check::EffectSummary smooth_residual_effects() {
+  return ::gmg::smooth_residual_effects();
+}
+constexpr check::EffectSummary residual_effects() {
+  return ::gmg::residual_effects();
+}
+constexpr check::EffectSummary restriction_effects() {
+  return ::gmg::restriction_effects();
+}
+constexpr check::EffectSummary smooth_residual_restrict_effects() {
+  return ::gmg::fused::smooth_residual_restrict_effects();
+}
+constexpr check::EffectSummary smooth_residual_restrict_varcoef_effects() {
+  return ::gmg::fused::smooth_residual_restrict_varcoef_effects();
+}
+constexpr check::EffectSummary residual_restrict_effects() {
+  return ::gmg::fused::residual_restrict_effects();
+}
+constexpr check::EffectSummary interpolation_increment_effects() {
+  return ::gmg::interpolation_increment_effects();
+}
+constexpr check::EffectSummary gs_color_sweep_effects() {
+  return ::gmg::gs_color_sweep_effects();
+}
+constexpr check::EffectSummary init_zero_effects() {
+  return ::gmg::init_zero_effects();
+}
+constexpr check::EffectSummary max_norm_effects() {
+  return ::gmg::max_norm_effects();
+}
+constexpr check::EffectSummary norm2_sq_effects() {
+  return ::gmg::norm2_sq_effects();
+}
+constexpr check::EffectSummary dot_interior_effects() {
+  return ::gmg::dot_interior_effects();
+}
+constexpr check::EffectSummary axpy_interior_effects() {
+  return ::gmg::axpy_interior_effects();
+}
+constexpr check::EffectSummary xpay_interior_effects() {
+  return ::gmg::xpay_interior_effects();
+}
+constexpr check::EffectSummary copy_interior_effects() {
+  return ::gmg::copy_interior_effects();
+}
+constexpr check::EffectSummary axpy_effects() {
+  return ::gmg::axpy_effects();
+}
+constexpr check::EffectSummary cheby_p_update_effects() {
+  return ::gmg::cheby_p_update_effects();
+}
+constexpr check::EffectSummary apply_op_varcoef_effects() {
+  return ::gmg::apply_op_varcoef_effects();
+}
+constexpr check::EffectSummary smooth_residual_varcoef_effects() {
+  return ::gmg::smooth_residual_varcoef_effects();
+}
+constexpr check::EffectSummary smooth_varcoef_effects() {
+  return ::gmg::smooth_varcoef_effects();
+}
+constexpr check::EffectSummary cheby_p_update_varcoef_effects() {
+  return ::gmg::cheby_p_update_varcoef_effects();
+}
 
 }  // namespace gmg::batch

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "batch/apply_batch.hpp"
+#include "batch/batched_audit.hpp"
 #include "batch/batched_kernels.hpp"
 #include "common/timer.hpp"
 #include "dsl/stencils.hpp"
@@ -52,6 +53,12 @@ BatchedSolver::BatchedSolver(GmgSolver& base, int k, BrickArena* arena)
     levels_.push_back(std::move(bl));
   }
   solutions_.assign(static_cast<std::size_t>(k_), {});
+  if (check::verify_schedule_enabled()) verify_batched_schedule(*this);
+}
+
+void BatchedSolver::exchange_now(comm::Communicator& comm, BatchLevel& bl,
+                                 BrickedArray& field) {
+  bl.exchange->exchange(comm, field);
 }
 
 BatchedSolver::~BatchedSolver() {
@@ -473,7 +480,7 @@ void BatchedSolver::bottom_cg(comm::Communicator& comm, int l) {
   const Box interior = lev.interior();
 
   if (bl.margin < lev.radius) {
-    bl.exchange->exchange(comm, bl.x.inner());
+    exchange_now(comm, bl, bl.x.inner());
     bl.margin = lev.shape.bx;
   }
   apply_operator(lev, bl.Ax, bl.x, interior);
@@ -491,7 +498,7 @@ void BatchedSolver::bottom_cg(comm::Communicator& comm, int l) {
     if (live[static_cast<std::size_t>(c)]) ++nlive;
   }
   for (int it = 0; it < opts.bottom_smooths && nlive > 0; ++it) {
-    bl.exchange->exchange(comm, bl.p.inner());
+    exchange_now(comm, bl, bl.p.inner());
     apply_operator(lev, bl.Ax, bl.p, interior);  // Ax := A p
     for (int c = 0; c < k_; ++c) {
       const std::size_t cc = static_cast<std::size_t>(c);

@@ -25,6 +25,7 @@
 
 #include "batch/batched_array.hpp"
 #include "brick/brick_arena.hpp"
+#include "check/schedule.hpp"
 #include "comm/exchange.hpp"
 #include "comm/simmpi.hpp"
 #include "exec/engine.hpp"
@@ -153,6 +154,16 @@ class BatchedSolver {
     return base_.options().smoother == Smoother::kChebyshev ||
            base_.options().bottom == BottomSolverType::kConjugateGradient;
   }
+
+  /// The single sanctioned direct-exchange entry point outside the
+  /// exchange_* scheduling routines (gmg_lint rule 8); margin
+  /// bookkeeping stays at the call sites.
+  void exchange_now(comm::Communicator& comm, BatchLevel& bl,
+                    BrickedArray& field);
+
+  /// Dry-run schedule recording (batch/batched_audit.hpp) reads the
+  /// base hierarchy and batch width without mutating anything.
+  friend check::Schedule record_batched_schedule(const BatchedSolver& bs);
 
   GmgSolver& base_;
   int k_;

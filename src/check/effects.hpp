@@ -1,0 +1,123 @@
+// Static kernel-effect summaries (DESIGN.md §18, layer 2 of the
+// verification ladder). An EffectSummary is a constexpr description of
+// what one kernel launch touches: which field *roles* it writes and
+// which it reads, and — for reads — how far beyond its active box the
+// stencil taps reach. The summaries are derived from the same numbers
+// the constexpr DSL footprints (footprint.hpp) encode, so a stencil
+// edit that widens a footprint shows up here as a static_assert
+// mismatch, and the schedule verifier (schedule.hpp) consumes them to
+// prove, at setup time, that every planned launch reads only ghost
+// layers some completed exchange or producing write actually filled.
+//
+// Every kernel in src/gmg, src/dsl (generated), src/batch and src/amr
+// exports one of these as a sibling `<kernel>_effects()` constexpr
+// function — enforced by gmg_lint rule effect-summary.
+//
+// Roles are positional names ("x", "b", "Ax", "coarse", "fine", ...),
+// not concrete field identities: the schedule recorder binds each role
+// to a (level, field) pair per recorded step, and the verifier
+// cross-checks that binding against the summary — a recorded write
+// with no declared write effect for its role is the "undeclared write
+// box" hazard.
+#pragma once
+
+#include <cstdint>
+
+namespace gmg::check {
+
+/// constexpr-safe string equality for role/kernel names.
+constexpr bool streq(const char* a, const char* b) {
+  while (*a != '\0' && *a == *b) {
+    ++a;
+    ++b;
+  }
+  return *a == *b;
+}
+
+enum class EffectKind : std::uint8_t { kRead, kWrite };
+
+/// One field-role effect: `reach` is the stencil radius beyond the
+/// kernel's active box (always 0 for writes — kernels write only the
+/// cells they are launched over, plus any ghost spill declared via the
+/// recorded access box itself).
+struct FieldEffect {
+  EffectKind kind = EffectKind::kRead;
+  const char* role = "";
+  int reach = 0;
+};
+
+/// The full effect set of one kernel. Built fluently:
+///   constexpr auto smooth_effects(int radius) {
+///     return EffectSummary("kernel.smooth")
+///         .writes("x").reads("x", 0).reads("b").reads("Ax");
+///   }
+struct EffectSummary {
+  static constexpr int kMaxEffects = 12;
+
+  const char* kernel = "";
+  FieldEffect effects[kMaxEffects] = {};
+  int count = 0;
+
+  constexpr EffectSummary() = default;
+  constexpr explicit EffectSummary(const char* name) : kernel(name) {}
+
+  constexpr EffectSummary writes(const char* role) const {
+    return with(FieldEffect{EffectKind::kWrite, role, 0});
+  }
+  constexpr EffectSummary reads(const char* role, int reach = 0) const {
+    return with(FieldEffect{EffectKind::kRead, role, reach});
+  }
+
+  constexpr bool empty() const { return count == 0; }
+
+  /// Declared read reach for `role`, or -1 when the summary declares
+  /// no read of that role.
+  constexpr int read_reach(const char* role) const {
+    for (int i = 0; i < count; ++i) {
+      if (effects[i].kind == EffectKind::kRead && streq(effects[i].role, role))
+        return effects[i].reach;
+    }
+    return -1;
+  }
+
+  constexpr bool writes_role(const char* role) const {
+    for (int i = 0; i < count; ++i) {
+      if (effects[i].kind == EffectKind::kWrite && streq(effects[i].role, role))
+        return true;
+    }
+    return false;
+  }
+
+  constexpr bool reads_role(const char* role) const {
+    return read_reach(role) >= 0;
+  }
+
+  constexpr int num_writes() const {
+    int n = 0;
+    for (int i = 0; i < count; ++i) {
+      if (effects[i].kind == EffectKind::kWrite) ++n;
+    }
+    return n;
+  }
+
+  constexpr int max_read_reach() const {
+    int m = 0;
+    for (int i = 0; i < count; ++i) {
+      if (effects[i].kind == EffectKind::kRead && effects[i].reach > m)
+        m = effects[i].reach;
+    }
+    return m;
+  }
+
+ private:
+  constexpr EffectSummary with(FieldEffect e) const {
+    EffectSummary s = *this;
+    // Silently saturating would hide effects from the verifier; a
+    // constexpr out-of-bounds write fails compilation instead.
+    s.effects[s.count] = e;
+    s.count = s.count + 1;
+    return s;
+  }
+};
+
+}  // namespace gmg::check

@@ -23,6 +23,7 @@
 #pragma once
 
 #include "brick/bricked_array.hpp"
+#include "check/effects.hpp"
 #include "check/footprint.hpp"
 #include "common/types.hpp"
 
@@ -88,5 +89,54 @@ void residual_restrict(BrickedArray& r, BrickedArray& coarse_b,
 /// it the solve history — is bitwise identical to residual()+max_norm().
 real_t residual_max_norm(BrickedArray& r, const BrickedArray& b,
                          const BrickedArray& Ax);
+
+// Static effect summaries (check/effects.hpp, DESIGN.md §18): the
+// fused stages' write sets are the union of the split kernels they
+// replace, with `coarse` bound to the coarse-level RHS the restriction
+// feeds. The schedule verifier additionally proves the per-brick chunk
+// write boxes of each fused launch pairwise disjoint.
+
+constexpr check::EffectSummary smooth_residual_restrict_effects() {
+  return check::EffectSummary("kernel.fusedDescent")
+      .writes("x")
+      .writes("r")
+      .writes("coarse")
+      .reads("x")
+      .reads("Ax")
+      .reads("b");
+}
+
+constexpr check::EffectSummary smooth_residual_restrict_varcoef_effects() {
+  return check::EffectSummary("kernel.fusedDescentVarCoef")
+      .writes("x")
+      .writes("r")
+      .writes("coarse")
+      .reads("x")
+      .reads("Ax")
+      .reads("b")
+      .reads("diag");
+}
+
+constexpr check::EffectSummary residual_restrict_effects() {
+  return check::EffectSummary("kernel.fusedGsTail")
+      .writes("r")
+      .writes("coarse")
+      .reads("b")
+      .reads("Ax");
+}
+
+constexpr check::EffectSummary residual_max_norm_effects() {
+  return check::EffectSummary("kernel.fusedResidualNorm")
+      .writes("r")
+      .reads("b")
+      .reads("Ax");
+}
+
+// The fused descent reads the residual only through the restriction
+// octant it just wrote — its summary must not claim a wider reach than
+// the split restriction's footprint radius.
+static_assert(smooth_residual_restrict_effects().max_read_reach() == 0 &&
+                  check::restriction_shape().radius() == 1,
+              "fused descent reads must stay within the active box");
 
 }  // namespace gmg::fused

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "brick/bricked_array.hpp"
+#include "check/effects.hpp"
 #include "common/types.hpp"
 
 namespace gmg {
@@ -126,5 +127,122 @@ void interpolation_assign(BrickedArray& fine, const BrickedArray& coarse);
 /// first.
 void interpolation_trilinear_assign(BrickedArray& fine,
                                     const BrickedArray& coarse);
+
+// ---------------------------------------------------------------------------
+// Static effect summaries (check/effects.hpp, DESIGN.md §18): one
+// constexpr EffectSummary per kernel above, consumed by the setup-time
+// schedule verifier and enforced by gmg_lint rule effect-summary. The
+// read reaches restate the constexpr DSL footprints — solver.cpp
+// static_asserts pin the two representations to each other.
+// ---------------------------------------------------------------------------
+
+constexpr check::EffectSummary apply_op_effects(int radius) {
+  return check::EffectSummary("kernel.applyOp")
+      .writes("Ax")
+      .reads("x", radius);
+}
+
+constexpr check::EffectSummary smooth_effects() {
+  return check::EffectSummary("kernel.smooth")
+      .writes("x")
+      .reads("x")
+      .reads("Ax")
+      .reads("b");
+}
+
+constexpr check::EffectSummary smooth_residual_effects() {
+  return check::EffectSummary("kernel.smoothResidual")
+      .writes("x")
+      .writes("r")
+      .reads("x")
+      .reads("Ax")
+      .reads("b");
+}
+
+constexpr check::EffectSummary residual_effects() {
+  return check::EffectSummary("kernel.residual")
+      .writes("r")
+      .reads("b")
+      .reads("Ax");
+}
+
+/// Reads the 2x2x2 fine octant of every coarse cell: taps land inside
+/// the fine interior whenever the coarse box does, hence reach 0.
+constexpr check::EffectSummary restriction_effects() {
+  return check::EffectSummary("kernel.restriction")
+      .writes("coarse")
+      .reads("fine");
+}
+
+constexpr check::EffectSummary interpolation_increment_effects() {
+  return check::EffectSummary("kernel.interpIncrement")
+      .writes("fine")
+      .reads("fine")
+      .reads("coarse");
+}
+
+constexpr check::EffectSummary interpolation_assign_effects() {
+  return check::EffectSummary("kernel.interpAssign")
+      .writes("fine")
+      .reads("coarse");
+}
+
+/// Trilinear taps read one coarse ghost layer.
+constexpr check::EffectSummary interpolation_trilinear_assign_effects() {
+  return check::EffectSummary("kernel.interpTrilinear")
+      .writes("fine")
+      .reads("coarse", 1);
+}
+
+constexpr check::EffectSummary init_zero_effects() {
+  return check::EffectSummary("kernel.initZero").writes("a");
+}
+
+constexpr check::EffectSummary max_norm_effects() {
+  return check::EffectSummary("kernel.maxNorm").reads("a");
+}
+
+constexpr check::EffectSummary norm2_sq_effects() {
+  return check::EffectSummary("kernel.norm2Sq").reads("a");
+}
+
+constexpr check::EffectSummary dot_interior_effects() {
+  return check::EffectSummary("kernel.dot").reads("a").reads("b");
+}
+
+constexpr check::EffectSummary axpy_interior_effects() {
+  return check::EffectSummary("kernel.axpy").writes("y").reads("y").reads("x");
+}
+
+constexpr check::EffectSummary xpay_interior_effects() {
+  return check::EffectSummary("kernel.xpay").writes("y").reads("y").reads("x");
+}
+
+constexpr check::EffectSummary copy_interior_effects() {
+  return check::EffectSummary("kernel.copy").writes("dst").reads("src");
+}
+
+constexpr check::EffectSummary axpy_effects() {
+  return check::EffectSummary("kernel.axpyActive")
+      .writes("y")
+      .reads("y")
+      .reads("x");
+}
+
+constexpr check::EffectSummary cheby_p_update_effects() {
+  return check::EffectSummary("kernel.chebyP")
+      .writes("p")
+      .reads("p")
+      .reads("r");
+}
+
+/// Each colored half-sweep reads the opposite color at radius 1 and
+/// writes only its own parity cells.
+constexpr check::EffectSummary gs_color_sweep_effects() {
+  return check::EffectSummary("kernel.gsColorSweep")
+      .writes("x")
+      .reads("x", 1)
+      .reads("b");
+}
 
 }  // namespace gmg

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "brick/bricked_array.hpp"
+#include "check/effects.hpp"
 #include "common/types.hpp"
 #include "dsl/stencils.hpp"
 
@@ -80,5 +81,49 @@ void smooth_varcoef(BrickedArray& x, const BrickedArray& Ax,
 void cheby_p_update_varcoef(BrickedArray& p, const BrickedArray& r,
                             const BrickedArray& diag, real_t beta_ch,
                             const Box& active);
+
+// Static effect summaries (check/effects.hpp, DESIGN.md §18). The
+// variable-coefficient operator taps x and beta at face neighbors:
+// reach 1 on both.
+
+constexpr check::EffectSummary apply_op_varcoef_effects() {
+  return check::EffectSummary("kernel.applyOpVarCoef")
+      .writes("Ax")
+      .reads("x", 1)
+      .reads("coef", 1);
+}
+
+constexpr check::EffectSummary varcoef_diagonal_effects() {
+  return check::EffectSummary("kernel.varcoefDiagonal")
+      .writes("diag")
+      .reads("coef", 1);
+}
+
+constexpr check::EffectSummary smooth_residual_varcoef_effects() {
+  return check::EffectSummary("kernel.smoothResidualVarCoef")
+      .writes("x")
+      .writes("r")
+      .reads("x")
+      .reads("Ax")
+      .reads("b")
+      .reads("diag");
+}
+
+constexpr check::EffectSummary smooth_varcoef_effects() {
+  return check::EffectSummary("kernel.smoothVarCoef")
+      .writes("x")
+      .reads("x")
+      .reads("Ax")
+      .reads("b")
+      .reads("diag");
+}
+
+constexpr check::EffectSummary cheby_p_update_varcoef_effects() {
+  return check::EffectSummary("kernel.chebyPVarCoef")
+      .writes("p")
+      .reads("p")
+      .reads("r")
+      .reads("diag");
+}
 
 }  // namespace gmg

@@ -6,11 +6,13 @@
 #include <string>
 
 #include "check/footprint.hpp"
+#include "check/schedule.hpp"
 #include "common/timer.hpp"
 #include "dsl/stencils.hpp"
 #include "gmg/fused_kernels.hpp"
 #include "gmg/operators.hpp"
 #include "gmg/operators_varcoef.hpp"
+#include "gmg/schedule_audit.hpp"
 #include "trace/trace.hpp"
 
 namespace gmg {
@@ -168,6 +170,12 @@ GmgSolver::GmgSolver(const GmgOptions& opts, const CartDecomp& decomp,
     levels_.push_back(std::move(lev));
   }
   resolve_kernel_plans();
+  // Setup-time schedule proof (DESIGN.md §18): dry-run the planned
+  // V-cycle and FMG schedules and statically verify the margin
+  // algebra, exchange placement and fused chunk disjointness before
+  // the first sweep can execute. Rejects a hazardous configuration
+  // here, with a diagnostic naming the offending kernel pair.
+  if (check::verify_schedule_enabled()) verify_solver_schedule(*this);
 }
 
 void GmgSolver::resolve_kernel_plans() {
@@ -272,7 +280,7 @@ void GmgSolver::set_coefficient(
   }
   for (MgLevel& lev : levels_) {
     lev.varcoef = true;
-    lev.exchange->exchange(comm, lev.coef);
+    exchange_now(comm, lev, lev.coef);
     lev.diag = BrickedArray(lev.grid, lev.shape);
     // The CA redundant sweeps read the diagonal in the ghost shell;
     // compute it everywhere the taps stay within the ghost bricks.
@@ -281,8 +289,16 @@ void GmgSolver::set_coefficient(
     lev.margin = 0;  // ghosts of x are unrelated to the new operator
   }
   // The varcoef flip invalidates every const-coefficient kernel
-  // binding; re-resolve the plans against the new operator.
+  // binding; re-resolve the plans against the new operator — and
+  // re-prove the schedule against the rebound plans (the varcoef
+  // kernels have their own effect summaries).
   resolve_kernel_plans();
+  if (check::verify_schedule_enabled()) verify_solver_schedule(*this);
+}
+
+void GmgSolver::exchange_now(comm::Communicator& comm, MgLevel& lev,
+                             BrickedArray& field) {
+  lev.exchange->exchange(comm, field);
 }
 
 void GmgSolver::apply_operator(MgLevel& lev, BrickedArray& out,
@@ -691,7 +707,7 @@ void GmgSolver::bottom_cg(comm::Communicator& comm, MgLevel& lev) {
 
   // r = b - A x (x may be nonzero on the second visit of a W-cycle).
   if (lev.margin < lev.radius) {
-    lev.exchange->exchange(comm, lev.x);
+    exchange_now(comm, lev, lev.x);
     lev.margin = lev.shape.bx;
   }
   apply_operator(lev, lev.Ax, lev.x, interior);
@@ -701,7 +717,7 @@ void GmgSolver::bottom_cg(comm::Communicator& comm, MgLevel& lev) {
   real_t rr = comm.allreduce_sum(dot_interior(lev.r, lev.r));
   const real_t stop = opts_.bottom_cg_tolerance * opts_.bottom_cg_tolerance;
   for (int it = 0; it < opts_.bottom_smooths && rr > stop; ++it) {
-    lev.exchange->exchange(comm, lev.p);
+    exchange_now(comm, lev, lev.p);
     apply_operator(lev, lev.Ax, lev.p, interior);  // Ax := A p
     const real_t pAp = comm.allreduce_sum(dot_interior(lev.p, lev.Ax));
     if (pAp == 0.0) break;
@@ -777,7 +793,7 @@ void GmgSolver::fmg(comm::Communicator& comm) {
     // trilinear reads one coarse ghost layer.
     if (coarse.margin < 1) {
       profiler_.timed(l + 1, perf::Phase::kExchange,
-                      [&] { coarse.exchange->exchange(comm, coarse.x); });
+                      [&] { exchange_now(comm, coarse, coarse.x); });
       coarse.margin = coarse.shape.bx;
     }
     profiler_.timed(l, perf::Phase::kInterpIncrement,

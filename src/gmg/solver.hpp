@@ -282,6 +282,15 @@ class GmgSolver {
   void bottom_solve(comm::Communicator& comm);
   void bottom_cg(comm::Communicator& comm, MgLevel& lev);
 
+  /// The single sanctioned direct-exchange entry point outside the
+  /// exchange_for_smooth family (gmg_lint rule exchange-in-schedule-fn
+  /// forbids bare `lev.exchange->exchange(...)` calls in schedule
+  /// code): one blocking round on `field`. Margin bookkeeping stays at
+  /// the call sites — the callers' margin algebra is what the schedule
+  /// verifier proves.
+  void exchange_now(comm::Communicator& comm, MgLevel& lev,
+                    BrickedArray& field);
+
   /// Recursive cycle body rooted at level l.
   void cycle_at(comm::Communicator& comm, int l);
 
@@ -314,6 +323,11 @@ class GmgSolver {
     return opts_.smoother == Smoother::kChebyshev ||
            opts_.bottom == BottomSolverType::kConjugateGradient;
   }
+
+  /// The dry-run schedule walker (schedule_audit.cpp) replicates the
+  /// sweep routines' margin algebra and overlap decisions; it needs
+  /// use_overlap/needs_p but must not mutate anything.
+  friend class ScheduleWalker;
 
   GmgOptions opts_;
   CartDecomp decomp_;

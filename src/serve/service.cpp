@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "batch/batched_solver.hpp"
+#include "check/schedule.hpp"
 #include "trace/trace.hpp"
 
 namespace gmg::serve {
@@ -632,6 +633,7 @@ ServiceReport SolveService::report() const {
     rep.batch_requests = batch_requests_;
     samples = latency_samples_;
   }
+  rep.schedules_verified = check::schedules_verified();
   rep.cache = cache_.stats();
   rep.arena = arena_.stats();
   std::sort(samples.begin(), samples.end());
@@ -659,6 +661,7 @@ ServiceStats SolveService::stats() const {
     s.batch_requests = batch_requests_;
   }
   s.cache_hit_ratio = cache_.stats().hit_ratio();
+  s.schedules_verified = check::schedules_verified();
   return s;
 }
 
@@ -679,7 +682,7 @@ std::string ServiceReport::to_string() const {
      << (batch_solves ? static_cast<double>(batch_requests) /
                             static_cast<double>(batch_solves)
                       : 0.0)
-     << "\n"
+     << " schedules_verified=" << schedules_verified << "\n"
      << "latency: p50=" << latency_p50 << "s p99=" << latency_p99
      << "s p999=" << latency_p999 << "s max=" << latency_max << "s\n";
   return os.str();

@@ -173,6 +173,10 @@ struct ServiceStats {
   /// requests they carried. requests/solves = mean batch occupancy.
   std::uint64_t batch_solves = 0;
   std::uint64_t batch_requests = 0;
+  /// Process-wide count of schedules proven clean at setup
+  /// (GMG_VERIFY_SCHEDULE): every hierarchy the cache built — solo,
+  /// batched, composite — was statically verified this many times.
+  std::uint64_t schedules_verified = 0;
 };
 
 /// Point-in-time service metrics (report()).
@@ -187,6 +191,7 @@ struct ServiceReport {
   std::size_t queue_high_water = 0;
   std::uint64_t batch_solves = 0;
   std::uint64_t batch_requests = 0;
+  std::uint64_t schedules_verified = 0;
   HierarchyCache::Stats cache;
   BrickArena::Stats arena;
   /// Total request latency (submission to completion) over finished

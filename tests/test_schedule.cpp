@@ -1,0 +1,352 @@
+// Setup-time schedule verification (DESIGN.md §18): parity between the
+// static prover and the runtime GMG_CHECK detector across the solver
+// configuration matrix, plus seeded schedule-hazard classes that the
+// verifier must reject at setup with a sourced diagnostic — a dropped
+// exchange, an undeclared fused write box, a masked plan scheduling a
+// covered brick, a retired batch component whose collectives resurrect,
+// a reordered reduction group, duplicated fused chunk writes, and a
+// split-phase exchange that never finishes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "amr/composite_audit.hpp"
+#include "amr/composite_solver.hpp"
+#include "amr/hierarchy.hpp"
+#include "batch/batched_audit.hpp"
+#include "batch/batched_solver.hpp"
+#include "check/schedule.hpp"
+#include "check/shadow.hpp"
+#include "gmg/schedule_audit.hpp"
+#include "gmg/solver.hpp"
+
+namespace gmg {
+namespace {
+
+real_t sine_rhs(real_t x, real_t y, real_t z) {
+  return std::sin(2 * M_PI * x) * std::sin(2 * M_PI * y) *
+         std::sin(2 * M_PI * z);
+}
+real_t bump_rhs(real_t x, real_t y, real_t z) {
+  return std::cos(2 * M_PI * x) * std::sin(4 * M_PI * y) *
+         std::cos(2 * M_PI * z);
+}
+
+GmgOptions matrix_options(Smoother sm, bool fuse) {
+  GmgOptions o;
+  o.levels = 3;
+  o.smooths = 4;
+  o.bottom_smooths = 10;
+  o.brick = BrickShape::cube(4);
+  o.smoother = sm;
+  o.fuse_stages = fuse;
+  o.max_vcycles = 2;
+  o.tolerance = 0;  // run the full cycle budget
+  return o;
+}
+
+const Smoother kSmoothers[] = {Smoother::kPointJacobi,
+                               Smoother::kWeightedJacobi,
+                               Smoother::kChebyshev, Smoother::kRedBlackGS};
+
+const char* smoother_tag(Smoother s) {
+  switch (s) {
+    case Smoother::kPointJacobi: return "jacobi";
+    case Smoother::kWeightedJacobi: return "weighted";
+    case Smoother::kChebyshev: return "chebyshev";
+    case Smoother::kRedBlackGS: return "rbgs";
+  }
+  return "?";
+}
+
+// ---- parity: the prover accepts exactly what GMG_CHECK runs clean ------
+
+// For every smoother x fusion state, the statically recorded schedule
+// proves clean AND the same configuration's instrumented solve leaves
+// the hazard detector empty. The two layers watch the same invariants
+// from opposite ends; this pins them together.
+TEST(ScheduleParity, StaticProofMatchesCheckedRunAcrossMatrix) {
+  const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+  for (const Smoother sm : kSmoothers) {
+    for (const bool fuse : {false, true}) {
+      SCOPED_TRACE(std::string(smoother_tag(sm)) +
+                   (fuse ? " fused" : " split"));
+      comm::World world(1);
+      world.run([&](comm::Communicator& c) {
+        // The constructor already runs the static proof (it throws on
+        // any hazard); re-check explicitly so a clean run asserts an
+        // empty diagnostic list, not just the absence of a throw.
+        GmgSolver solver(matrix_options(sm, fuse), decomp, 0);
+        const check::Schedule sched = record_solver_schedule(solver);
+        EXPECT_TRUE(check::ScheduleVerifier().check(sched).empty());
+        const check::Schedule fmg = record_fmg_schedule(solver);
+        EXPECT_TRUE(check::ScheduleVerifier().check(fmg).empty());
+
+        check::set_enabled(true);
+        check::reset();
+        solver.set_rhs(sine_rhs);
+        solver.solve(c);
+        EXPECT_TRUE(check::hazards().empty());
+        check::reset();
+        check::set_enabled(false);
+      });
+    }
+  }
+}
+
+TEST(ScheduleParity, BatchedScheduleProvesCleanAndRunsClean) {
+  GmgOptions o = matrix_options(Smoother::kPointJacobi, true);
+  o.bottom = BottomSolverType::kConjugateGradient;
+  o.max_batch = 4;
+  const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    GmgSolver base(o, decomp, 0);
+    batch::BatchedSolver bs(base, 4);
+    const check::Schedule sched = batch::record_batched_schedule(bs);
+    EXPECT_EQ(sched.num_components, 4);
+    EXPECT_TRUE(check::ScheduleVerifier().check(sched).empty());
+
+    check::set_enabled(true);
+    check::reset();
+    bs.set_rhs({sine_rhs, bump_rhs, sine_rhs, bump_rhs});
+    std::vector<batch::BatchSolveSpec> specs(4);
+    for (auto& s : specs) {
+      s.tolerance = 1e-8;
+      s.max_vcycles = 4;
+    }
+    bs.solve(c, specs);
+    EXPECT_TRUE(check::hazards().empty());
+    check::reset();
+    check::set_enabled(false);
+  });
+}
+
+TEST(ScheduleParity, CompositeAmrScheduleProvesCleanAndRunsClean) {
+  amr::AmrOptions ao;
+  ao.gmg = matrix_options(Smoother::kPointJacobi, true);
+  ao.gmg.levels = 4;
+  ao.patch = Box{{8, 8, 8}, {24, 24, 24}};
+  ao.patch_smooths = 4;
+  ao.correction_vcycles = 2;
+  ao.tolerance = 1e-8;
+  ao.max_cycles = 4;
+  const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+  comm::World world(1);
+  world.run([&](comm::Communicator& c) {
+    amr::AmrHierarchy h(ao, decomp, 0);
+    const check::Schedule sched = amr::record_composite_schedule(h);
+    EXPECT_TRUE(check::ScheduleVerifier().check(sched).empty());
+
+    check::set_enabled(true);
+    check::reset();
+    h.set_rhs(bump_rhs);
+    amr::CompositeSolver(h).solve(c);
+    EXPECT_TRUE(check::hazards().empty());
+    check::reset();
+    check::set_enabled(false);
+  });
+}
+
+// ---- seeded hazards: each class rejected with a sourced diagnostic -----
+
+check::Schedule jacobi_schedule() {
+  const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+  GmgSolver solver(matrix_options(Smoother::kPointJacobi, true), decomp, 0);
+  return record_solver_schedule(solver);
+}
+
+void expect_rejected(const check::Schedule& sched, const char* substring) {
+  const std::vector<std::string> diags =
+      check::ScheduleVerifier().check(sched);
+  ASSERT_FALSE(diags.empty()) << "mutated schedule was not rejected";
+  EXPECT_NE(diags.front().find(substring), std::string::npos)
+      << "diagnostic missing '" << substring << "': " << diags.front();
+  EXPECT_THROW(check::ScheduleVerifier().verify(sched), Error);
+}
+
+// Hazard class 1: a ghost read whose matching exchange was dropped.
+TEST(ScheduleSeededBug, DroppedExchangeRejected) {
+  check::Schedule sched = jacobi_schedule();
+  const auto it = std::find_if(
+      sched.steps.begin(), sched.steps.end(), [](const check::ScheduleStep& s) {
+        return s.kind == check::StepKind::kExchange;
+      });
+  ASSERT_NE(it, sched.steps.end());
+  sched.steps.erase(it);
+  expect_rejected(sched,
+                  "a matching completed exchange must precede this read");
+}
+
+// Hazard class 2: a fused stage writing a box its EffectSummary never
+// declared.
+TEST(ScheduleSeededBug, UndeclaredFusedWriteBoxRejected) {
+  check::Schedule sched = jacobi_schedule();
+  const auto it = std::find_if(
+      sched.steps.begin(), sched.steps.end(), [](const check::ScheduleStep& s) {
+        return s.kind == check::StepKind::kKernel &&
+               s.kernel.find("fused") != std::string::npos;
+      });
+  ASSERT_NE(it, sched.steps.end()) << "no fused step in the schedule";
+  check::StepAccess rogue = check::write_access(
+      "r", it->level, Box{{0, 0, 0}, {4, 4, 4}}, "scratch");
+  it->accesses.push_back(rogue);
+  expect_rejected(sched, "declares no write effect for that role");
+}
+
+// Hazard class 3: duplicated fused chunk writes — two parallel chunks
+// of one launch landing on the same brick tile.
+TEST(ScheduleSeededBug, OverlappingFusedChunksRejected) {
+  check::Schedule sched = jacobi_schedule();
+  const auto it = std::find_if(
+      sched.steps.begin(), sched.steps.end(), [](const check::ScheduleStep& s) {
+        return s.chunk_writes.size() > 1;
+      });
+  ASSERT_NE(it, sched.steps.end()) << "no chunked fused step";
+  it->chunk_writes.push_back(it->chunk_writes.front());
+  expect_rejected(sched, "repeats brick tile");
+}
+
+// Hazard class 4: a masked plan scheduling a brick the level mask
+// declares covered by refinement.
+TEST(ScheduleSeededBug, CoveredBrickScheduledRejected) {
+  amr::AmrOptions ao;
+  ao.gmg = matrix_options(Smoother::kPointJacobi, true);
+  ao.gmg.levels = 4;
+  ao.patch = Box{{8, 8, 8}, {24, 24, 24}};
+  ao.patch_smooths = 4;
+  ao.correction_vcycles = 1;
+  const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+  amr::AmrHierarchy h(ao, decomp, 0);
+  check::Schedule sched = amr::record_composite_schedule(h);
+  const auto it = std::find_if(
+      sched.steps.begin(), sched.steps.end(), [](const check::ScheduleStep& s) {
+        return !s.covered_bricks.empty() && !s.scheduled_bricks.empty();
+      });
+  ASSERT_NE(it, sched.steps.end()) << "no masked step in the schedule";
+  it->scheduled_bricks.push_back(it->covered_bricks.front());
+  expect_rejected(sched, "declares covered by refinement");
+}
+
+check::Schedule batched_schedule() {
+  GmgOptions o = matrix_options(Smoother::kPointJacobi, true);
+  o.bottom = BottomSolverType::kConjugateGradient;
+  o.max_batch = 4;
+  const CartDecomp decomp({32, 32, 32}, {1, 1, 1});
+  static GmgSolver* base = nullptr;
+  static batch::BatchedSolver* bs = nullptr;
+  if (bs == nullptr) {
+    base = new GmgSolver(o, decomp, 0);
+    bs = new batch::BatchedSolver(*base, 4);
+  }
+  return batch::record_batched_schedule(*bs);
+}
+
+// Hazard class 5: a retired component's retirement-masked collectives
+// resurface — retirement would desynchronize the collective count.
+TEST(ScheduleSeededBug, RetiredComponentReductionRejected) {
+  check::Schedule sched = batched_schedule();
+  const auto retire = std::find_if(
+      sched.steps.begin(), sched.steps.end(), [](const check::ScheduleStep& s) {
+        return s.kind == check::StepKind::kRetire;
+      });
+  ASSERT_NE(retire, sched.steps.end()) << "no retirement in the schedule";
+  const int retired = retire->component;
+  // The first retirement-masked reduction in its group after the
+  // retirement: rewriting its component to the retired one keeps the
+  // group non-decreasing, isolating the resurrection diagnostic.
+  const auto red = std::find_if(
+      retire, sched.steps.end(), [&](const check::ScheduleStep& s) {
+        return s.kind == check::StepKind::kReduction && s.retirement_masked &&
+               s.component != retired;
+      });
+  ASSERT_NE(red, sched.steps.end());
+  red->component = retired;
+  expect_rejected(sched, "retirement must not resurrect");
+}
+
+// Hazard class 6: components reduced out of order within one group —
+// ranks would disagree on the collective sequence.
+TEST(ScheduleSeededBug, ReorderedReductionGroupRejected) {
+  check::Schedule sched = batched_schedule();
+  // Find two same-group reductions with ascending components and swap
+  // them (the interleaved bottom-CG group reduces 0,0,1,1,...).
+  for (std::size_t i = 0; i + 1 < sched.steps.size(); ++i) {
+    check::ScheduleStep& a = sched.steps[i];
+    if (a.kind != check::StepKind::kReduction) continue;
+    for (std::size_t j = i + 1; j < sched.steps.size(); ++j) {
+      check::ScheduleStep& b = sched.steps[j];
+      if (b.kind != check::StepKind::kReduction ||
+          b.reduction_group != a.reduction_group)
+        continue;
+      if (b.component > a.component) {
+        std::swap(a.component, b.component);
+        expect_rejected(sched, "reorder the collective sequence");
+        return;
+      }
+    }
+  }
+  FAIL() << "no ascending same-group reduction pair found";
+}
+
+// Hazard class 7: a split-phase exchange that never finishes, with a
+// deep ghost read on a remote face while the receives are in flight.
+// Hand-built: the walker never emits this shape, which is the point.
+TEST(ScheduleSeededBug, UnfinishedSplitExchangeRejected) {
+  check::ScheduleRecorder rec("seeded.split");
+  check::LevelInfo L;
+  L.level = 0;
+  L.interior = Box::from_extent({16, 16, 16});
+  L.ghost_depth = 4;
+  L.remote_hi[0] = true;
+  rec.add_level(L);
+  rec.set_initial("b", 0, 4);
+  rec.exchange_begin(0, {"x"}, 4);
+  auto& step = rec.kernel("kernel.smooth", 0,
+                          check::EffectSummary{"kernel.smooth"}
+                              .writes("x")
+                              .reads("x", 1)
+                              .reads("b", 0));
+  step.accesses.push_back(check::read_access(
+      "x", 0, grow(L.interior, 3), 1, "x"));
+  step.accesses.push_back(
+      check::read_access("b", 0, grow(L.interior, 3), 0, "b"));
+  step.accesses.push_back(
+      check::write_access("x", 0, grow(L.interior, 3), "x"));
+  const check::Schedule sched = rec.take();
+  const std::vector<std::string> diags =
+      check::ScheduleVerifier().check(sched);
+  ASSERT_FALSE(diags.empty());
+  // Two findings are acceptable orderings: the remote-face touch while
+  // in flight, and the begin that never finishes.
+  const bool sourced =
+      std::any_of(diags.begin(), diags.end(), [](const std::string& d) {
+        return d.find("in-flight") != std::string::npos ||
+               d.find("never finished") != std::string::npos;
+      });
+  EXPECT_TRUE(sourced) << diags.front();
+}
+
+// ---- the GMG_VERIFY_SCHEDULE gate --------------------------------------
+
+TEST(ScheduleGate, VerificationCountsOnlyWhenEnabled) {
+  const CartDecomp decomp({16, 16, 16}, {1, 1, 1});
+  const bool was = check::verify_schedule_enabled();
+
+  check::set_verify_schedule_enabled(false);
+  const std::uint64_t before = check::schedules_verified();
+  { GmgSolver off(matrix_options(Smoother::kPointJacobi, true), decomp, 0); }
+  EXPECT_EQ(check::schedules_verified(), before);
+
+  check::set_verify_schedule_enabled(true);
+  { GmgSolver on(matrix_options(Smoother::kPointJacobi, true), decomp, 0); }
+  EXPECT_GT(check::schedules_verified(), before);
+
+  check::set_verify_schedule_enabled(was);
+}
+
+}  // namespace
+}  // namespace gmg
